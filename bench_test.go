@@ -1,0 +1,186 @@
+package jellyfish
+
+// One benchmark per paper table/figure. Each bench runs the corresponding
+// experiment from internal/experiments at reduced (Quick) scale so the full
+// suite completes in minutes; the paper-scale sweeps are produced by
+// `go run ./cmd/experiments <id>` and recorded in EXPERIMENTS.md. Custom
+// metrics expose each experiment's headline number so regressions in the
+// reproduced result (not just its runtime) are visible.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"jellyfish/internal/experiments"
+)
+
+var benchOpt = experiments.Options{Seed: 1, Quick: true}
+
+// lastFloat extracts the last parseable float in a table column, used to
+// surface headline metrics.
+func lastFloat(t *experiments.Table, col int) float64 {
+	for i := len(t.Rows) - 1; i >= 0; i-- {
+		s := strings.TrimSuffix(t.Rows[i][col], "%")
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+func benchExperiment(b *testing.B, id string, metric string, col int) {
+	run := experiments.Lookup(id)
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = run(benchOpt)
+	}
+	if metric != "" && tab != nil {
+		b.ReportMetric(lastFloat(tab, col), metric)
+	}
+}
+
+func BenchmarkFig1cPathLengthCDF(b *testing.B) {
+	benchExperiment(b, "fig1c", "jf_cdf_final", 1)
+}
+
+func BenchmarkFig2aBisection(b *testing.B) {
+	benchExperiment(b, "fig2a", "norm_bisection", 4)
+}
+
+func BenchmarkFig2bCost(b *testing.B) {
+	benchExperiment(b, "fig2b", "jf_ports", 2)
+}
+
+func BenchmarkFig2cServersAtFullThroughput(b *testing.B) {
+	benchExperiment(b, "fig2c", "jf_servers", 3)
+}
+
+func BenchmarkFig3DegreeDiameter(b *testing.B) {
+	benchExperiment(b, "fig3", "jf_over_dd", 3)
+}
+
+func BenchmarkFig4SWDC(b *testing.B) {
+	benchExperiment(b, "fig4", "throughput", 2)
+}
+
+func BenchmarkFig5PathLength(b *testing.B) {
+	benchExperiment(b, "fig5", "incr_mean_path", 4)
+}
+
+func BenchmarkFig6Incremental(b *testing.B) {
+	benchExperiment(b, "fig6", "incr_throughput", 2)
+}
+
+func BenchmarkFig7LEGUP(b *testing.B) {
+	benchExperiment(b, "fig7", "jf_bisection", 3)
+}
+
+func BenchmarkFig8Failures(b *testing.B) {
+	benchExperiment(b, "fig8", "jf_tp_at_25pct", 1)
+}
+
+func BenchmarkFig9ECMPPathCounts(b *testing.B) {
+	benchExperiment(b, "fig9", "ksp8_p100", 3)
+}
+
+func BenchmarkTable1RoutingCongestion(b *testing.B) {
+	benchExperiment(b, "table1", "jf_8sp_mptcp_pct", 3)
+}
+
+func BenchmarkFig10SimVsOptimal(b *testing.B) {
+	benchExperiment(b, "fig10", "pkt_over_opt", 3)
+}
+
+func BenchmarkFig11PacketLevelServers(b *testing.B) {
+	benchExperiment(b, "fig11", "jf_servers", 4)
+}
+
+func BenchmarkFig12Stability(b *testing.B) {
+	benchExperiment(b, "fig12", "avg_throughput", 3)
+}
+
+func BenchmarkFig13Fairness(b *testing.B) {
+	benchExperiment(b, "fig13", "jain_jellyfish", 2)
+}
+
+func BenchmarkFig14Locality(b *testing.B) {
+	benchExperiment(b, "fig14", "norm_throughput", 3)
+}
+
+// ---- micro-benchmarks on the core primitives ----
+
+func BenchmarkConstructJellyfish(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		New(Config{Switches: 245, Ports: 14, NetworkDegree: 11, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkExpandOneSwitch(b *testing.B) {
+	net := New(Config{Switches: 200, Ports: 24, NetworkDegree: 12, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Expand(net, 1, 24, 12, uint64(i))
+	}
+}
+
+func BenchmarkOptimalThroughput(b *testing.B) {
+	net := New(Config{Switches: 60, Ports: 12, NetworkDegree: 9, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimalThroughput(net, uint64(i))
+	}
+}
+
+func BenchmarkPacketLevelThroughput(b *testing.B) {
+	net := New(Config{Switches: 60, Ports: 12, NetworkDegree: 9, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PacketLevelThroughput(net, KSP8, MPTCP8Subflows, uint64(i))
+	}
+}
+
+func BenchmarkMeanPathLength(b *testing.B) {
+	net := New(Config{Switches: 400, Ports: 48, NetworkDegree: 36, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MeanPathLength(net)
+	}
+}
+
+// ---- ablation benches (design-choice probes beyond the paper's figures) ----
+
+func BenchmarkAblationRoutingK(b *testing.B) {
+	benchExperiment(b, "ablation-routing-k", "tp_at_k16", 1)
+}
+
+func BenchmarkAblationOversubscription(b *testing.B) {
+	benchExperiment(b, "ablation-oversubscription", "tp_most_oversub", 3)
+}
+
+func BenchmarkAblationHeterogeneous(b *testing.B) {
+	benchExperiment(b, "ablation-heterogeneous", "tp_upgraded", 4)
+}
+
+func BenchmarkAblationFailuresRouting(b *testing.B) {
+	benchExperiment(b, "ablation-failures-routing", "tp_vs_healthy", 2)
+}
+
+func BenchmarkAblationSwitchFailures(b *testing.B) {
+	benchExperiment(b, "ablation-switch-failures", "tp_at_20pct", 2)
+}
+
+func BenchmarkAblationAllToAll(b *testing.B) {
+	benchExperiment(b, "ablation-alltoall", "jf_throughput", 2)
+}
+
+func BenchmarkAblationPacketVsFluid(b *testing.B) {
+	benchExperiment(b, "ablation-packet-vs-fluid", "des_over_fluid", 4)
+}
+
+func BenchmarkAblationHotspot(b *testing.B) {
+	benchExperiment(b, "ablation-hotspot", "tp_hot40", 1)
+}

@@ -1,0 +1,55 @@
+package jellyfish_test
+
+import (
+	"fmt"
+
+	"jellyfish"
+)
+
+// Build a small Jellyfish and read its basic shape.
+func ExampleNew() {
+	net := jellyfish.New(jellyfish.Config{
+		Switches: 40, Ports: 12, NetworkDegree: 8, Seed: 1,
+	})
+	fmt.Println(net.NumSwitches(), net.NumServers(), net.NumLinks())
+	// Output: 40 160 160
+}
+
+// Same equipment as a fat-tree, shorter paths.
+func ExampleNewFatTree() {
+	ft := jellyfish.NewFatTree(8)
+	fmt.Println(ft.NumSwitches(), ft.NumServers())
+	// Output: 80 128
+}
+
+// Incremental expansion adds racks without restructuring.
+func ExampleExpand() {
+	net := jellyfish.New(jellyfish.Config{
+		Switches: 20, Ports: 12, NetworkDegree: 8, Seed: 1,
+	})
+	jellyfish.Expand(net, 5, 12, 8, 2)
+	fmt.Println(net.NumSwitches(), net.NumServers())
+	// Output: 25 100
+}
+
+// The rewiring needed for an expansion is computable in advance.
+func ExamplePlanRewiring() {
+	before := jellyfish.New(jellyfish.Config{
+		Switches: 20, Ports: 12, NetworkDegree: 8, Seed: 1,
+	})
+	after := before.Clone()
+	jellyfish.Expand(after, 1, 12, 8, 2)
+	plan := jellyfish.PlanRewiring(before, after)
+	fmt.Println(len(plan.Remove)*2 == len(plan.Add)) // each splice: 1 out, 2 in
+	// Output: true
+}
+
+// Jellyfish is r-connected: it takes r simultaneous link failures to even
+// possibly partition it.
+func ExampleEdgeConnectivity() {
+	net := jellyfish.New(jellyfish.Config{
+		Switches: 30, Ports: 10, NetworkDegree: 6, Seed: 1,
+	})
+	fmt.Println(jellyfish.EdgeConnectivity(net))
+	// Output: 6
+}

@@ -1,0 +1,54 @@
+// Expansion: grow a data center one rack at a time — the scenario that
+// motivates Jellyfish (paper §1, §4.2). Starting from 20 racks, we add
+// racks in small increments and watch path length and throughput stay
+// stable, with rewiring limited to a couple of cables per new rack.
+package main
+
+import (
+	"fmt"
+
+	"jellyfish"
+)
+
+func main() {
+	const (
+		ports  = 12
+		degree = 8 // 4 servers per rack switch
+	)
+	net := jellyfish.New(jellyfish.Config{
+		Switches: 20, Ports: ports, NetworkDegree: degree, Seed: 1,
+	})
+
+	fmt.Println("growing a data center rack by rack:")
+	fmt.Printf("%8s %8s %10s %10s %12s\n", "racks", "servers", "mean_path", "diameter", "throughput")
+	report := func() {
+		stats := net.SwitchPathStats()
+		lambda := jellyfish.OptimalThroughput(net, 99)
+		fmt.Printf("%8d %8d %10.3f %10d %12.3f\n",
+			net.NumSwitches(), net.NumServers(), stats.Mean, stats.Diameter, lambda)
+	}
+	report()
+
+	// Each expansion step splices in 10 racks: per added rack, one random
+	// existing cable is removed and two are added per pair of free ports —
+	// no forklift upgrade, unlike a fat-tree which would need replacing.
+	for step := 1; step <= 5; step++ {
+		jellyfish.Expand(net, 10, ports, degree, uint64(step))
+		report()
+	}
+
+	// Heterogeneous growth: newer 16-port switches join the same fabric.
+	fmt.Println("\nadding 10 newer 16-port switches (8 servers each) to the same fabric:")
+	portsList := make([]int, net.NumSwitches())
+	serversList := make([]int, net.NumSwitches())
+	copy(portsList, net.Ports)
+	copy(serversList, net.Servers)
+	for i := 0; i < 10; i++ {
+		portsList = append(portsList, 16)
+		serversList = append(serversList, 8)
+	}
+	het := jellyfish.NewHeterogeneous(portsList, serversList, 7)
+	stats := het.SwitchPathStats()
+	fmt.Printf("heterogeneous fabric: %d servers, mean path %.3f, diameter %d\n",
+		het.NumServers(), stats.Mean, stats.Diameter)
+}

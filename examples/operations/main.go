@@ -1,0 +1,64 @@
+// Operations: the day-2 workflow of running a Jellyfish data center —
+// blueprints, expansion rewiring plans, miswiring detection, and health
+// checks (paper §6). Everything a network operator would script against
+// this library.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"jellyfish"
+)
+
+func main() {
+	// Day 0: design the network and emit the cabling blueprint.
+	design := jellyfish.New(jellyfish.Config{
+		Switches: 50, Ports: 12, NetworkDegree: 8, Seed: 42,
+	})
+	var blueprint bytes.Buffer
+	if err := jellyfish.WriteBlueprint(design, &blueprint); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blueprint: %d bytes for %d cables\n", blueprint.Len(), design.NumLinks())
+
+	// Day 1: the crew wires it up — with a few mistakes.
+	built := design.Clone()
+	swaps := jellyfish.SimulateMiswirings(built, 3, 7)
+	fmt.Printf("crew crossed %d cable pairs during installation\n", swaps)
+
+	// A link-layer discovery sweep finds every divergence.
+	found := jellyfish.DetectMiswirings(design, built)
+	fmt.Printf("discovery sweep: %d divergences detected:\n", len(found))
+	for _, m := range found {
+		fmt.Printf("  missing %v, found %v instead\n", m.Missing, m.Extra)
+	}
+
+	// §6.1's point: the miswired network is just another random graph.
+	fmt.Printf("throughput as designed: %.3f | as built: %.3f — often not worth fixing\n",
+		jellyfish.OptimalThroughput(design, 9), jellyfish.OptimalThroughput(built, 9))
+
+	// Day 90: expansion. Plan the exact cable moves before touching anything.
+	grown := built.Clone()
+	jellyfish.Expand(grown, 5, 12, 8, 11)
+	plan := jellyfish.PlanRewiring(built, grown)
+	fmt.Printf("\nexpansion by 5 racks: %d cables to unplug, %d to run (rewiring bounded by added ports)\n",
+		len(plan.Remove), len(plan.Add))
+
+	// Health checks after the change.
+	fmt.Printf("edge connectivity: %d (r-connected, so %d simultaneous link failures cannot partition it)\n",
+		jellyfish.EdgeConnectivity(grown), jellyfish.EdgeConnectivity(grown)-1)
+	lambda2, opt := jellyfish.ExpansionQuality(jellyfish.New(jellyfish.Config{
+		Switches: 55, Ports: 12, NetworkDegree: 8, Seed: 13,
+	}), 8)
+	fmt.Printf("expander quality: lambda2 %.2f vs Ramanujan optimum %.2f — near-optimal expansion\n",
+		lambda2, opt)
+
+	// Resilience drill: fail 10% of links, then a whole switch.
+	drill := grown.Clone()
+	jellyfish.FailRandomLinks(drill, 0.10, 17)
+	failed := jellyfish.FailRandomSwitches(drill, 0.05, 19)
+	fmt.Printf("\ndrill: 10%% links + switches %v down -> throughput %.3f (healthy: %.3f)\n",
+		failed, jellyfish.OptimalThroughput(drill, 21), jellyfish.OptimalThroughput(grown, 21))
+}

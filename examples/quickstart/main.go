@@ -1,0 +1,46 @@
+// Quickstart: build a Jellyfish network, inspect its structure, and
+// measure its throughput under the paper's two evaluation methodologies.
+package main
+
+import (
+	"fmt"
+
+	"jellyfish"
+)
+
+func main() {
+	// A Jellyfish of 80 top-of-rack switches with 12 ports each: 8 ports
+	// form the random interconnect, 4 attach servers → 320 servers.
+	net := jellyfish.New(jellyfish.Config{
+		Switches:      80,
+		Ports:         12,
+		NetworkDegree: 8,
+		Seed:          1,
+	})
+	fmt.Println("built:", net)
+
+	// Structure: random graphs have short paths — the source of
+	// Jellyfish's capacity advantage (paper §3).
+	stats := net.SwitchPathStats()
+	fmt.Printf("mean inter-switch path: %.2f hops, diameter %d\n", stats.Mean, stats.Diameter)
+
+	// Capacity with ideal routing: the largest fraction of every server's
+	// NIC rate deliverable simultaneously under random-permutation traffic.
+	lambda := jellyfish.OptimalThroughput(net, 7)
+	fmt.Printf("optimal-routing throughput: %.3f of NIC rate\n", lambda)
+
+	// Capacity with a realizable data plane: 8-shortest-path routing and
+	// MPTCP congestion control (paper §5).
+	res := jellyfish.PacketLevelThroughput(net, jellyfish.KSP8, jellyfish.MPTCP8Subflows, 7)
+	fmt.Printf("kSP-8 + MPTCP throughput:   %.3f of NIC rate (fairness %.3f)\n",
+		res.MeanThroughput, res.Fairness)
+
+	// The same equipment as a fat-tree, more servers: compare against the
+	// fat-tree built from identical switches.
+	ft := jellyfish.NewFatTree(12) // 180 switches with 12 ports, 432 servers
+	fmt.Printf("\nfat-tree(k=12): %d servers on %d switches, mean path %.2f\n",
+		ft.NumServers(), ft.NumSwitches(), ft.SwitchPathStats().Mean)
+	jf := jellyfish.SpreadServers(ft.NumSwitches(), 12, ft.NumServers(), 2)
+	fmt.Printf("same-equipment jellyfish: mean path %.2f — shorter paths, spare capacity for more servers\n",
+		jf.SwitchPathStats().Mean)
+}

@@ -1,0 +1,145 @@
+package jellyfish
+
+// End-to-end integration tests: whole-lifecycle scenarios across every
+// subsystem — construction, expansion, routing, transport, failures,
+// blueprints — exercised through the public API only.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestLifecycleScenario runs a full operator story: design → blueprint →
+// build (with miswirings) → evaluate → expand → re-evaluate → failure
+// drill. Each stage asserts the properties the paper promises.
+func TestLifecycleScenario(t *testing.T) {
+	const (
+		ports  = 12
+		degree = 8
+	)
+	// Design.
+	design := New(Config{Switches: 40, Ports: ports, NetworkDegree: degree, Seed: 100})
+	if err := design.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	baseline := OptimalThroughput(design, 101)
+	if baseline < 0.5 {
+		t.Fatalf("baseline throughput %v implausibly low", baseline)
+	}
+
+	// Blueprint round trip.
+	var bp bytes.Buffer
+	if err := WriteBlueprint(design, &bp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBlueprint(&bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if OptimalThroughput(loaded, 101) != baseline {
+		t.Fatal("blueprint round trip changed throughput")
+	}
+
+	// Build with errors; detect; accept (paper §6.1).
+	built := loaded.Clone()
+	SimulateMiswirings(built, 2, 102)
+	if n := len(DetectMiswirings(loaded, built)); n != 4 {
+		t.Fatalf("detected %d divergences, want 4", n)
+	}
+	if tp := OptimalThroughput(built, 101); tp < baseline*0.93 {
+		t.Fatalf("2 miswirings cost too much: %v -> %v", baseline, tp)
+	}
+
+	// Expand by 25% and verify capacity keeps up (paper §4.2).
+	grown := built.Clone()
+	Expand(grown, 10, ports, degree, 103)
+	if grown.NumSwitches() != 50 {
+		t.Fatalf("switches = %d", grown.NumSwitches())
+	}
+	plan := PlanRewiring(built, grown)
+	if len(plan.Add) > 10*degree {
+		t.Fatalf("expansion rewired too much: %d cables", len(plan.Add))
+	}
+	grownTp := OptimalThroughput(grown, 104)
+	if grownTp < baseline*0.85 {
+		t.Fatalf("expansion degraded throughput: %v -> %v", baseline, grownTp)
+	}
+
+	// Realizable routing on the grown network (paper §5).
+	pkt := PacketLevelThroughput(grown, KSP8, MPTCP8Subflows, 105)
+	if pkt.MeanThroughput < grownTp*0.75 {
+		t.Fatalf("packet-level %v too far below optimal %v", pkt.MeanThroughput, grownTp)
+	}
+	if pkt.Fairness < 0.9 {
+		t.Fatalf("fairness %v below 0.9", pkt.Fairness)
+	}
+
+	// Failure drill (paper §4.3).
+	drill := grown.Clone()
+	FailRandomLinks(drill, 0.15, 106)
+	drillTp := OptimalThroughput(drill, 107)
+	if drillTp < grownTp*0.70 {
+		t.Fatalf("15%% failures cost too much: %v -> %v", grownTp, drillTp)
+	}
+	if !drill.Graph.Connected() {
+		t.Fatal("15% failures disconnected the network")
+	}
+}
+
+// TestEquipmentParityScenario verifies the paper's headline claim chain on
+// one small configuration: same equipment as a fat-tree → shorter paths →
+// more servers at the same measured throughput.
+func TestEquipmentParityScenario(t *testing.T) {
+	k := 10
+	ft := NewFatTree(k)
+	jf := SpreadServers(ft.NumSwitches(), k, ft.NumServers(), 200)
+
+	// Same equipment.
+	if jf.TotalPorts() != ft.TotalPorts() {
+		t.Fatalf("port budgets differ: %d vs %d", jf.TotalPorts(), ft.TotalPorts())
+	}
+	// Shorter paths.
+	if MeanPathLength(jf) >= MeanPathLength(ft) {
+		t.Fatalf("jellyfish paths %v not shorter than fat-tree %v",
+			MeanPathLength(jf), MeanPathLength(ft))
+	}
+	// At least fat-tree throughput with realizable routing at equal servers.
+	ftTp := PacketLevelThroughput(ft, ECMP8, MPTCP8Subflows, 201).MeanThroughput
+	jfTp := PacketLevelThroughput(jf, KSP8, MPTCP8Subflows, 201).MeanThroughput
+	if jfTp < ftTp-0.03 {
+		t.Fatalf("jellyfish %v more than 3pp below fat-tree %v at equal servers", jfTp, ftTp)
+	}
+	// And it can carry strictly more servers at full optimal-routing
+	// capacity (binary search, 2 permutations).
+	max := MaxServersAtFullThroughput(ft.NumSwitches(), k, 2, 202)
+	if max <= ft.NumServers() {
+		t.Fatalf("jellyfish max %d not above fat-tree %d", max, ft.NumServers())
+	}
+}
+
+// TestHeterogeneousLifecycle grows a network across two switch
+// generations and verifies everything still composes.
+func TestHeterogeneousLifecycle(t *testing.T) {
+	ports := make([]int, 30)
+	servers := make([]int, 30)
+	for i := range ports {
+		ports[i], servers[i] = 8, 3
+	}
+	for i := 20; i < 30; i++ {
+		ports[i], servers[i] = 16, 6
+	}
+	net := NewHeterogeneous(ports, servers, 300)
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if net.NumServers() != 20*3+10*6 {
+		t.Fatalf("servers = %d", net.NumServers())
+	}
+	if !net.Graph.Connected() {
+		t.Fatal("heterogeneous network disconnected")
+	}
+	res := PacketLevelThroughput(net, KSP8, MPTCP8Subflows, 301)
+	if res.MeanThroughput <= 0.4 {
+		t.Fatalf("throughput %v", res.MeanThroughput)
+	}
+}

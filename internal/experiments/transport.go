@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jellyfish/internal/flowsim"
+	"jellyfish/internal/metrics"
+	"jellyfish/internal/placement"
+	"jellyfish/internal/rng"
+	"jellyfish/internal/routing"
+	"jellyfish/internal/topology"
+	"jellyfish/internal/traffic"
+)
+
+// routeTable builds the table for a pattern under the named scheme.
+func routeTable(t *topology.Topology, pat *traffic.Pattern, scheme string, src *rng.Source) *routing.Table {
+	var sd [][2]int
+	for _, f := range pat.Flows {
+		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
+	}
+	pairs := routing.PairsForCommodities(sd)
+	switch scheme {
+	case "ecmp64":
+		return routing.ECMP(t.Graph, pairs, 64, src)
+	case "ksp8":
+		return routing.KShortest(t.Graph, pairs, 8)
+	default:
+		return routing.ECMP(t.Graph, pairs, 8, src)
+	}
+}
+
+// simMean runs the flow simulator and returns mean per-server throughput.
+func simMean(t *topology.Topology, scheme string, proto flowsim.Protocol, src *rng.Source) float64 {
+	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
+	table := routeTable(t, pat, scheme, src.Split("routes"))
+	return flowsim.Simulate(pat.Flows, table, proto, src.Split("sim")).Mean()
+}
+
+// table1Sizes returns the fat-tree arity and matching jellyfish server
+// count used by Table 1 (686 / 780 in the paper; scaled down for Quick).
+func table1Sizes(opt Options) (k, jfServers int) {
+	if opt.Quick {
+		return 8, 150 // fat-tree 128 servers, 80 switches
+	}
+	return 14, 780 // fat-tree 686 servers, 245 switches
+}
+
+// Fig9ECMPPathCounts reproduces Fig. 9: the number of distinct paths each
+// directed link participates in, ranked, under 8-way ECMP, 64-way ECMP,
+// and 8-shortest-path routing, on the Jellyfish of Table 1.
+func Fig9ECMPPathCounts(opt Options) *Table {
+	k, jfServers := table1Sizes(opt)
+	switches := 5 * k * k / 4
+	src := rng.New(opt.Seed).Split("fig9")
+	jf := spread(switches, k, jfServers, src.Split("topo"))
+	pat := traffic.RandomPermutation(jf.ServerSwitches(), src.Split("traffic"))
+
+	series := map[string][]int{}
+	for _, scheme := range []string{"ecmp8", "ecmp64", "ksp8"} {
+		series[scheme] = routing.RankedLinkLoads(jf.Graph, routeTable(jf, pat, scheme, src.Split(scheme)))
+	}
+	t := &Table{
+		ID:      "fig9",
+		Title:   fmt.Sprintf("distinct paths per directed link (ranked), jellyfish %d servers", jfServers),
+		Columns: []string{"percentile", "ecmp8", "ecmp64", "ksp8"},
+	}
+	n := len(series["ecmp8"])
+	for _, pct := range []int{0, 10, 25, 50, 75, 90, 100} {
+		idx := pct * (n - 1) / 100
+		t.AddRow(fmt.Sprintf("p%d", pct), series["ecmp8"][idx], series["ecmp64"][idx], series["ksp8"][idx])
+	}
+	// Headline fractions from the paper's text.
+	frac := func(xs []int, limit int) float64 {
+		c := 0
+		for _, x := range xs {
+			if x <= limit {
+				c++
+			}
+		}
+		return float64(c) / float64(len(xs))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("links on ≤2 paths: ecmp8 %.0f%%, ksp8 %.0f%% (paper: 55%% vs 6%%)",
+			100*frac(series["ecmp8"], 2), 100*frac(series["ksp8"], 2)))
+	return t
+}
+
+// Table1RoutingCongestion reproduces Table 1: mean per-server throughput
+// (% of NIC rate) for the fat-tree under ECMP and Jellyfish under ECMP and
+// 8-shortest paths, each with TCP 1-flow, TCP 8-flow, and MPTCP transport.
+func Table1RoutingCongestion(opt Options) *Table {
+	k, jfServers := table1Sizes(opt)
+	src := rng.New(opt.Seed).Split("table1")
+	trials := opt.trials(5)
+	ft := topology.FatTree(k)
+	jf := spread(ft.NumSwitches(), k, jfServers, src.Split("jf"))
+
+	t := &Table{
+		ID:      "table1",
+		Title:   fmt.Sprintf("throughput %% of NIC: fat-tree(%d srv, ECMP) vs jellyfish(%d srv, ECMP / 8SP)", ft.NumServers(), jfServers),
+		Columns: []string{"congestion_control", "ft_ecmp", "jf_ecmp", "jf_8sp"},
+	}
+	protos := []flowsim.Protocol{flowsim.TCP1, flowsim.TCP8, flowsim.MPTCP8}
+	for _, proto := range protos {
+		var ftv, jfe, jfk float64
+		for i := 0; i < trials; i++ {
+			tsrc := src.SplitN(proto.String(), i)
+			ftv += simMean(ft, "ecmp8", proto, tsrc.Split("ft")) / float64(trials)
+			jfe += simMean(jf, "ecmp8", proto, tsrc.Split("jfe")) / float64(trials)
+			jfk += simMean(jf, "ksp8", proto, tsrc.Split("jfk")) / float64(trials)
+		}
+		t.AddRow(proto.String(),
+			fmt.Sprintf("%.1f%%", 100*ftv), fmt.Sprintf("%.1f%%", 100*jfe), fmt.Sprintf("%.1f%%", 100*jfk))
+	}
+	t.Notes = append(t.Notes,
+		"paper row MPTCP: fat-tree 93.6%, jellyfish ECMP 76.4%, jellyfish 8SP 95.1% — ECMP lacks path diversity on jellyfish")
+	return t
+}
+
+// fig10Config builds the slightly-oversubscribed Jellyfish used by
+// Fig. 10: 12-port switches, 4 servers each (r=8).
+func fig10Config(servers int, src *rng.Source) *topology.Topology {
+	switches := (servers + 3) / 4
+	return spread(switches, 12, servers, src)
+}
+
+// Fig10SimVsOptimal reproduces Fig. 10: flow-level (packet-substitute)
+// throughput vs optimal-routing throughput on the same topologies.
+func Fig10SimVsOptimal(opt Options) *Table {
+	sizes := []int{70, 165, 335, 600, 960}
+	if opt.Quick {
+		sizes = []int{70, 165}
+	}
+	src := rng.New(opt.Seed).Split("fig10")
+	trials := opt.trials(3)
+	t := &Table{
+		ID:      "fig10",
+		Title:   "k-shortest-path + MPTCP vs optimal routing (same topologies)",
+		Columns: []string{"servers", "optimal", "packet_level", "ratio"},
+	}
+	for _, s := range sizes {
+		var optSum, pktSum float64
+		for i := 0; i < trials; i++ {
+			tsrc := src.SplitN(fmt.Sprintf("s%d", s), i)
+			jf := fig10Config(s, tsrc.Split("topo"))
+			optSum += mcfThroughput(jf, tsrc.Split("mcf"))
+			pktSum += simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("pkt"))
+		}
+		o, p := optSum/float64(trials), pktSum/float64(trials)
+		t.AddRow(s, o, p, p/o)
+	}
+	t.Notes = append(t.Notes, "paper: packet-level reaches 86-90% of the CPLEX optimum at every size")
+	return t
+}
+
+// packetLevelMaxServers binary-searches the servers jellyfish supports at
+// ≥ the fat-tree's packet-level throughput (Fig. 11 methodology).
+func packetLevelMaxServers(k int, trials int, src *rng.Source) (ftServers, jfServers int, ftTp float64) {
+	ft := topology.FatTree(k)
+	ftServers = ft.NumServers()
+	for i := 0; i < trials; i++ {
+		ftTp += simMean(ft, "ecmp8", flowsim.MPTCP8, src.SplitN("ft", i)) / float64(trials)
+	}
+	switches := ft.NumSwitches()
+	feasible := func(servers int) bool {
+		if servers > switches*(k-1) {
+			return false
+		}
+		var tp float64
+		for i := 0; i < trials; i++ {
+			tsrc := src.SplitN(fmt.Sprintf("jf%d", servers), i)
+			jf := spread(switches, k, servers, tsrc.Split("topo"))
+			tp += simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("sim")) / float64(trials)
+		}
+		return tp >= ftTp
+	}
+	// Search down from half the fat-tree's size so that configurations
+	// where jellyfish cannot quite match the fat-tree (small k, weak
+	// network degree) still report their true maximum.
+	jfServers = maxServersFullCapacity(ftServers/2, switches*(k-1), feasible)
+	return ftServers, jfServers, ftTp
+}
+
+// Fig11PacketLevelServers reproduces Fig. 11: servers supported at the
+// same-or-higher packet-level throughput than the same-equipment fat-tree.
+func Fig11PacketLevelServers(opt Options) *Table {
+	// The paper's packet-level sweep starts near k=8; at k=6 the random
+	// graph's network degree (≤3) is too weak to beat a full-bisection
+	// fat-tree under realizable routing.
+	ks := []int{8, 10, 12, 14}
+	if opt.Quick {
+		ks = []int{10}
+	}
+	src := rng.New(opt.Seed).Split("fig11")
+	trials := opt.trials(3)
+	t := &Table{
+		ID:      "fig11",
+		Title:   "servers at equal packet-level throughput vs equipment cost",
+		Columns: []string{"k", "total_ports", "ft_servers", "ft_throughput", "jf_servers", "improvement"},
+	}
+	for _, k := range ks {
+		ksrc := src.Split(fmt.Sprintf("k%d", k))
+		ftServers, jfServers, ftTp := packetLevelMaxServers(k, trials, ksrc)
+		t.AddRow(k, 5*k*k/4*k, ftServers, ftTp, jfServers,
+			fmt.Sprintf("%.1f%%", 100*(float64(jfServers)/float64(ftServers)-1)))
+	}
+	t.Notes = append(t.Notes, "paper: >25% more servers at the largest scale (3,330 vs 2,662), ≈15% at small scale")
+	return t
+}
+
+// Fig12Stability reproduces Fig. 12: average/min/max per-server throughput
+// across runs for jellyfish and fat-tree at matched equipment.
+func Fig12Stability(opt Options) *Table {
+	ks := []int{6, 8, 10, 12, 14}
+	jfExtra := 1.13 // jellyfish carries ~13% more servers, per Fig. 11
+	if opt.Quick {
+		ks = []int{4, 6}
+	}
+	src := rng.New(opt.Seed).Split("fig12")
+	trials := opt.trials(5)
+	t := &Table{
+		ID:      "fig12",
+		Title:   "throughput stability across runs (avg [min,max])",
+		Columns: []string{"k", "topology", "servers", "avg", "min", "max"},
+	}
+	for _, k := range ks {
+		ksrc := src.Split(fmt.Sprintf("k%d", k))
+		ft := topology.FatTree(k)
+		var ftv, jfv []float64
+		jfServers := int(float64(ft.NumServers()) * jfExtra)
+		for i := 0; i < trials; i++ {
+			tsrc := ksrc.SplitN("trial", i)
+			ftv = append(ftv, simMean(ft, "ecmp8", flowsim.MPTCP8, tsrc.Split("ft")))
+			jf := spread(ft.NumSwitches(), k, jfServers, tsrc.Split("jf-topo"))
+			jfv = append(jfv, simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("jf")))
+		}
+		fs, js := metrics.Summarize(ftv), metrics.Summarize(jfv)
+		t.AddRow(k, "fattree", ft.NumServers(), fs.Mean, fs.Min, fs.Max)
+		t.AddRow(k, "jellyfish", jfServers, js.Mean, js.Min, js.Max)
+	}
+	t.Notes = append(t.Notes, "paper: jellyfish is as stable as the fat-tree (min/max within a few percent of the mean)")
+	return t
+}
+
+// Fig13Fairness reproduces Fig. 13: the ranked distribution of per-flow
+// throughputs and Jain's fairness index for jellyfish and fat-tree.
+func Fig13Fairness(opt Options) *Table {
+	k, jfServers := table1Sizes(opt)
+	src := rng.New(opt.Seed).Split("fig13")
+	ft := topology.FatTree(k)
+	jf := spread(ft.NumSwitches(), k, jfServers, src.Split("jf"))
+
+	run := func(top *topology.Topology, scheme string, s *rng.Source) []float64 {
+		pat := traffic.RandomPermutation(top.ServerSwitches(), s.Split("traffic"))
+		table := routeTable(top, pat, scheme, s.Split("routes"))
+		return flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, s.Split("sim")).FlowRate
+	}
+	ftRates := run(ft, "ecmp8", src.Split("ft"))
+	jfRates := run(jf, "ksp8", src.Split("jf-run"))
+
+	t := &Table{
+		ID:      "fig13",
+		Title:   "flow-throughput distribution (ranked percentiles) and Jain fairness",
+		Columns: []string{"percentile", "fattree", "jellyfish"},
+	}
+	for _, pct := range []float64{1, 5, 10, 25, 50, 75, 90, 99} {
+		t.AddRow(fmt.Sprintf("p%.0f", pct),
+			metrics.Percentile(ftRates, pct), metrics.Percentile(jfRates, pct))
+	}
+	t.AddRow("jain", metrics.JainFairness(ftRates), metrics.JainFairness(jfRates))
+	t.Notes = append(t.Notes, "paper: Jain's index 0.991 (fat-tree) vs 0.988 (jellyfish) — both ≈99% fair")
+	return t
+}
+
+// Fig14Locality reproduces Fig. 14: throughput of 2-layer
+// (locality-constrained) Jellyfish normalized to unrestricted Jellyfish,
+// as the fraction of in-pod links varies, at four sizes.
+func Fig14Locality(opt Options) *Table {
+	type size struct{ containers, spc int }
+	sizes := []size{{5, 8}, {6, 15}, {9, 20}, {10, 24}} // 160..960 servers at 4/switch
+	fracs := []float64{0, 0.2, 0.4, 0.5, 0.6, 0.8}
+	if opt.Quick {
+		sizes = sizes[:1]
+		fracs = []float64{0, 0.4, 0.8}
+	}
+	k, r := 12, 8
+	trials := opt.trials(3)
+	src := rng.New(opt.Seed).Split("fig14")
+	t := &Table{
+		ID:      "fig14",
+		Title:   "2-layer jellyfish: throughput (normalized to unrestricted) vs fraction of local links",
+		Columns: []string{"servers", "local_frac", "throughput", "normalized"},
+	}
+	for _, sz := range sizes {
+		servers := sz.containers * sz.spc * (k - r)
+		ssrc := src.Split(fmt.Sprintf("s%d", servers))
+		var base float64
+		for i := 0; i < trials; i++ {
+			unrestricted := placement.TwoLayerJellyfish(sz.containers, sz.spc, k, r, 0, ssrc.SplitN("base", i))
+			base += mcfThroughput(unrestricted, ssrc.SplitN("base-traffic", i)) / float64(trials)
+		}
+		for _, f := range fracs {
+			var tp float64
+			for i := 0; i < trials; i++ {
+				top := placement.TwoLayerJellyfish(sz.containers, sz.spc, k, r, f, ssrc.SplitN(fmt.Sprintf("f%.1f", f), i))
+				tp += mcfThroughput(top, ssrc.SplitN(fmt.Sprintf("f%.1f-traffic", f), i)) / float64(trials)
+			}
+			norm := 1.0
+			if base > 0 {
+				norm = tp / base
+			}
+			t.AddRow(servers, fmt.Sprintf("%.1f", f), tp, norm)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: ≤6% throughput loss with 60% of links localized; <3% at 50% local — above the fat-tree's 53.6% locality")
+	return t
+}

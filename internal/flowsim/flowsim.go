@@ -1,0 +1,329 @@
+// Package flowsim is the flow-level transport simulator standing in for the
+// MPTCP packet simulator used in §5 of the paper (DESIGN.md §8 documents the
+// substitution). Long-lived TCP and MPTCP flows converge to approximately
+// max-min fair rates on their paths; flowsim computes that fixed point
+// directly by progressive filling over three resource classes:
+//
+//   - every directed switch-switch link (capacity 1 NIC-rate per direction),
+//   - every source server NIC (capacity 1, shared by a flow's subflows),
+//   - every destination server NIC (capacity 1).
+//
+// Protocol models:
+//
+//   - TCP1: one subflow per flow; the path is chosen by hashing the flow
+//     onto its route set (random pick), as an ECMP switch would. Max-min
+//     fairness at connection granularity.
+//   - TCP8: eight parallel connections per server pair, each independently
+//     hashed onto the route set — collisions waste path diversity exactly
+//     as they do in the packet simulator. Max-min at connection
+//     granularity (8 connections = 8 entities).
+//   - MPTCP8: coupled multipath — the flow is one entity that grows on the
+//     shortest of its routes that still has residual capacity, spills onto
+//     alternates as links saturate, and stops only when every route is
+//     blocked. This captures what coupled congestion control achieves in
+//     equilibrium: traffic concentrates where capacity is, and congested
+//     long paths carry (almost) nothing, so extra k-shortest paths help
+//     and never hurt.
+package flowsim
+
+import (
+	"fmt"
+
+	"jellyfish/internal/rng"
+	"jellyfish/internal/routing"
+	"jellyfish/internal/traffic"
+)
+
+// Protocol selects the transport model.
+type Protocol int
+
+const (
+	// TCP1 is a single TCP connection per server pair.
+	TCP1 Protocol = iota
+	// TCP8 is eight independent TCP connections per server pair.
+	TCP8
+	// MPTCP8 is multipath TCP with eight coupled subflows.
+	MPTCP8
+)
+
+// String names the protocol like the paper's Table 1 rows.
+func (p Protocol) String() string {
+	switch p {
+	case TCP1:
+		return "TCP 1 flow"
+	case TCP8:
+		return "TCP 8 flows"
+	case MPTCP8:
+		return "MPTCP 8 subflows"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Subflows returns the number of subflows the protocol opens per flow.
+func (p Protocol) Subflows() int {
+	if p == TCP1 {
+		return 1
+	}
+	return 8
+}
+
+// Result reports per-flow throughputs (in server NIC units, ∈ [0,1]).
+type Result struct {
+	FlowRate []float64 // indexed like the input flow slice
+}
+
+// Mean returns the average per-flow (= per-server, under permutation
+// traffic) throughput.
+func (r Result) Mean() float64 {
+	if len(r.FlowRate) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range r.FlowRate {
+		sum += x
+	}
+	return sum / float64(len(r.FlowRate))
+}
+
+const satEps = 1e-12
+
+// resources is a registry of capacity-1 entities: directed links keyed by
+// (u,v) switch pairs and per-server NICs keyed with negative markers.
+type resources struct {
+	id       map[[2]int]int
+	capacity []float64
+}
+
+func newResources() *resources { return &resources{id: map[[2]int]int{}} }
+
+func (r *resources) get(key [2]int) int {
+	if id, ok := r.id[key]; ok {
+		return id
+	}
+	id := len(r.capacity)
+	r.id[key] = id
+	r.capacity = append(r.capacity, 1)
+	return id
+}
+
+func (r *resources) srcNIC(server int) int { return r.get([2]int{-1, server}) }
+func (r *resources) dstNIC(server int) int { return r.get([2]int{-2, server}) }
+
+func (r *resources) pathResources(f traffic.Flow, p []int) []int {
+	res := []int{r.srcNIC(f.SrcServer), r.dstNIC(f.DstServer)}
+	for i := 0; i+1 < len(p); i++ {
+		res = append(res, r.get([2]int{p[i], p[i+1]}))
+	}
+	return res
+}
+
+// Simulate computes per-flow throughputs for the given flows over the route
+// table. Flows whose endpoints share a switch run at full NIC rate; flows
+// with no route (disconnected) get rate 0.
+func Simulate(flows []traffic.Flow, table *routing.Table, proto Protocol, src *rng.Source) Result {
+	if proto == MPTCP8 {
+		return simulateCoupled(flows, table)
+	}
+	return simulateSubflows(flows, table, proto, src)
+}
+
+// simulateSubflows models uncoupled TCP: each connection is pinned to one
+// hashed route and max-min filling runs at connection granularity.
+func simulateSubflows(flows []traffic.Flow, table *routing.Table, proto Protocol, src *rng.Source) Result {
+	reg := newResources()
+	type subflow struct {
+		flow      int
+		resources []int
+	}
+	var subflows []subflow
+	rates := make([]float64, len(flows))
+	local := make([]bool, len(flows))
+
+	for fi, f := range flows {
+		if f.SrcSwitch == f.DstSwitch {
+			local[fi] = true
+			rates[fi] = 1
+			continue
+		}
+		paths := table.PathsFor(f.SrcSwitch, f.DstSwitch)
+		if len(paths) == 0 {
+			continue
+		}
+		for s := 0; s < proto.Subflows(); s++ {
+			p := paths[src.Intn(len(paths))] // ECMP-style hash per connection
+			subflows = append(subflows, subflow{flow: fi, resources: reg.pathResources(f, p)})
+		}
+	}
+
+	used := make([]float64, len(reg.capacity))
+	count := make([]int, len(reg.capacity))
+	frozen := make([]bool, len(subflows))
+	subRate := make([]float64, len(subflows))
+	for _, sf := range subflows {
+		for _, r := range sf.resources {
+			count[r]++
+		}
+	}
+	remaining := len(subflows)
+	for remaining > 0 {
+		minInc := -1.0
+		for r := range reg.capacity {
+			if count[r] == 0 {
+				continue
+			}
+			inc := (reg.capacity[r] - used[r]) / float64(count[r])
+			if minInc < 0 || inc < minInc {
+				minInc = inc
+			}
+		}
+		if minInc < 0 {
+			break
+		}
+		for si := range subflows {
+			if !frozen[si] {
+				subRate[si] += minInc
+			}
+		}
+		for r := range reg.capacity {
+			used[r] += minInc * float64(count[r])
+		}
+		progress := false
+		for si, sf := range subflows {
+			if frozen[si] {
+				continue
+			}
+			for _, r := range sf.resources {
+				if reg.capacity[r]-used[r] <= satEps {
+					frozen[si] = true
+					remaining--
+					progress = true
+					for _, rr := range sf.resources {
+						count[rr]--
+					}
+					break
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	for si, sf := range subflows {
+		rates[sf.flow] += subRate[si]
+	}
+	clampRates(rates, local)
+	return Result{FlowRate: rates}
+}
+
+// simulateCoupled models MPTCP's coupled congestion control as flow-level
+// max-min: every unfrozen flow grows at the common fair rate on its
+// currently active route (the first route in shortest-first order whose
+// links all have residual capacity); when that route saturates, the flow's
+// accumulated rate stays in place and growth moves to the next open route;
+// the flow freezes when no route is open.
+func simulateCoupled(flows []traffic.Flow, table *routing.Table) Result {
+	reg := newResources()
+	rates := make([]float64, len(flows))
+	local := make([]bool, len(flows))
+	flowPaths := make([][][]int, len(flows)) // per flow: candidate resource lists
+	active := make([]int, len(flows))        // index into flowPaths, -1 = frozen
+
+	for fi, f := range flows {
+		active[fi] = -1
+		if f.SrcSwitch == f.DstSwitch {
+			local[fi] = true
+			rates[fi] = 1
+			continue
+		}
+		paths := table.PathsFor(f.SrcSwitch, f.DstSwitch)
+		for _, p := range paths {
+			flowPaths[fi] = append(flowPaths[fi], reg.pathResources(f, p))
+		}
+		if len(flowPaths[fi]) > 0 {
+			active[fi] = 0
+		}
+	}
+
+	used := make([]float64, len(reg.capacity))
+	open := func(res []int) bool {
+		for _, r := range res {
+			if reg.capacity[r]-used[r] <= satEps {
+				return false
+			}
+		}
+		return true
+	}
+	// nextOpen advances a flow to its first open route (or -1).
+	nextOpen := func(fi int) int {
+		for pi, res := range flowPaths[fi] {
+			if open(res) {
+				return pi
+			}
+		}
+		return -1
+	}
+
+	count := make([]float64, len(reg.capacity))
+	for rounds := 0; ; rounds++ {
+		if rounds > 4*len(reg.capacity)+len(flows)+16 {
+			break // numerical safety net; never reached in practice
+		}
+		// Recompute active routes and per-resource counts.
+		for i := range count {
+			count[i] = 0
+		}
+		liveFlows := 0
+		for fi := range flows {
+			if active[fi] < 0 || local[fi] {
+				continue
+			}
+			if !open(flowPaths[fi][active[fi]]) {
+				active[fi] = nextOpen(fi)
+				if active[fi] < 0 {
+					continue
+				}
+			}
+			liveFlows++
+			for _, r := range flowPaths[fi][active[fi]] {
+				count[r]++
+			}
+		}
+		if liveFlows == 0 {
+			break
+		}
+		minInc := -1.0
+		for r := range reg.capacity {
+			if count[r] == 0 {
+				continue
+			}
+			inc := (reg.capacity[r] - used[r]) / count[r]
+			if minInc < 0 || inc < minInc {
+				minInc = inc
+			}
+		}
+		if minInc <= 0 {
+			break
+		}
+		for fi := range flows {
+			if active[fi] >= 0 && !local[fi] {
+				rates[fi] += minInc
+			}
+		}
+		for r := range reg.capacity {
+			used[r] += minInc * count[r]
+		}
+	}
+
+	clampRates(rates, local)
+	return Result{FlowRate: rates}
+}
+
+func clampRates(rates []float64, local []bool) {
+	for fi := range rates {
+		if !local[fi] && rates[fi] > 1 {
+			rates[fi] = 1
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+// Bridges returns every bridge (cut edge) of the graph — cables whose
+// single failure disconnects some pair of switches — via Tarjan's
+// linear-time low-link algorithm. A healthy Jellyfish has none (it is
+// r-connected, §4.3); bridges appear only after heavy failures, and
+// identifying them tells an operator which cables must be repaired first.
+func (g *Graph) Bridges() []Edge {
+	n := g.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	var bridges []Edge
+	timer := 0
+
+	// Iterative DFS (explicit stack) to stay safe on large graphs.
+	type frame struct {
+		v, idx int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		stack := []frame{{start, 0}}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ns := g.Neighbors(f.v)
+			if f.idx < len(ns) {
+				u := ns[f.idx]
+				f.idx++
+				if disc[u] == -1 {
+					parent[u] = f.v
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					stack = append(stack, frame{u, 0})
+				} else if u != parent[f.v] {
+					if disc[u] < low[f.v] {
+						low[f.v] = disc[u]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent.
+			stack = stack[:len(stack)-1]
+			if p := parent[f.v]; p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if low[f.v] > disc[p] {
+					bridges = append(bridges, Canon(p, f.v))
+				}
+			}
+		}
+	}
+	return bridges
+}

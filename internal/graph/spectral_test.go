@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSecondEigenvalueCompleteGraph(t *testing.T) {
+	// K_n has eigenvalues n-1 (once) and -1 (n-1 times): λ₂ = 1.
+	g := completeGraph(8)
+	l2 := g.SecondEigenvalue(7, 500)
+	if math.Abs(l2-1) > 0.01 {
+		t.Fatalf("K8 lambda2 = %v, want 1", l2)
+	}
+}
+
+func TestSecondEigenvalueRing(t *testing.T) {
+	// Even cycles are bipartite: the eigenvalue of largest absolute value
+	// after the trivial one is −2, so |λ₂| = 2.
+	g := ringGraph(12)
+	l2 := g.SecondEigenvalue(2, 2000)
+	if math.Abs(l2-2) > 0.01 {
+		t.Fatalf("C12 |lambda2| = %v, want 2", l2)
+	}
+}
+
+func TestSecondEigenvaluePetersen(t *testing.T) {
+	// Petersen graph spectrum: 3, 1 (×5), −2 (×4): |λ₂| = 2.
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+		g.AddEdge(5+i, 5+((i+2)%5))
+		g.AddEdge(i, 5+i)
+	}
+	l2 := g.SecondEigenvalue(3, 1000)
+	if math.Abs(l2-2) > 0.02 {
+		t.Fatalf("Petersen |lambda2| = %v, want 2", l2)
+	}
+}
+
+func TestSecondEigenvaluePanicsOnIrregular(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on irregular graph")
+		}
+	}()
+	g.SecondEigenvalue(2, 10)
+}
+
+func TestRamanujanBound(t *testing.T) {
+	if RamanujanBound(3) != 2*math.Sqrt(2) {
+		t.Fatal("bound(3) wrong")
+	}
+	if RamanujanBound(0) != 0 {
+		t.Fatal("bound(0) != 0")
+	}
+}
+
+func TestSecondEigenvalueTiny(t *testing.T) {
+	if New(1).SecondEigenvalue(0, 10) != 0 {
+		t.Fatal("single vertex lambda2 != 0")
+	}
+}

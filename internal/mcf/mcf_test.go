@@ -1,0 +1,286 @@
+package mcf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jellyfish/internal/graph"
+)
+
+func ring(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// check asserts lambda certificates bracket a known optimum.
+func check(t *testing.T, res Result, wantLambda, tol float64) {
+	t.Helper()
+	if res.Lambda > res.UpperBound+1e-9 {
+		t.Fatalf("primal %v exceeds dual %v", res.Lambda, res.UpperBound)
+	}
+	if math.Abs(res.Lambda-wantLambda) > tol*wantLambda {
+		t.Fatalf("lambda = %v, want %v (±%v%%)", res.Lambda, wantLambda, tol*100)
+	}
+}
+
+func TestSingleCommoditySingleEdge(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	res := MaxConcurrentFlow(g, []Commodity{{0, 1, 1}}, Options{})
+	// One unit-capacity edge, one unit demand: λ = 1.
+	check(t, res, 1.0, 0.08)
+}
+
+func TestOversubscribedEdge(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	res := MaxConcurrentFlow(g, []Commodity{{0, 1, 4}}, Options{})
+	check(t, res, 0.25, 0.08)
+}
+
+func TestTwoDisjointPathsDoubleCapacity(t *testing.T) {
+	// Ring of 4: 0 to 2 has two vertex-disjoint 2-hop paths, λ = 2 for
+	// demand 1 (both paths carry 1 unit each).
+	res := MaxConcurrentFlow(ring(4), []Commodity{{0, 2, 1}}, Options{})
+	check(t, res, 2.0, 0.08)
+}
+
+func TestDisconnectedCommodity(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	res := MaxConcurrentFlow(g, []Commodity{{0, 3, 1}}, Options{})
+	if res.Lambda != 0 {
+		t.Fatalf("lambda = %v for disconnected commodity, want 0", res.Lambda)
+	}
+}
+
+func TestNoCommodities(t *testing.T) {
+	res := MaxConcurrentFlow(ring(4), nil, Options{})
+	if !math.IsInf(res.Lambda, 1) {
+		t.Fatalf("lambda = %v with no commodities, want +Inf", res.Lambda)
+	}
+}
+
+func TestSelfCommodityIgnored(t *testing.T) {
+	res := MaxConcurrentFlow(ring(4), []Commodity{{1, 1, 5}}, Options{})
+	if !math.IsInf(res.Lambda, 1) {
+		t.Fatalf("lambda = %v with only self-commodity, want +Inf", res.Lambda)
+	}
+}
+
+func TestZeroDemandIgnored(t *testing.T) {
+	res := MaxConcurrentFlow(ring(4), []Commodity{{0, 2, 0}}, Options{})
+	if !math.IsInf(res.Lambda, 1) {
+		t.Fatalf("lambda = %v with zero demand, want +Inf", res.Lambda)
+	}
+}
+
+func TestRingUniformPermutation(t *testing.T) {
+	// Ring of n, every node sends 1 unit to its antipode. Each of the n
+	// unit-capacity edges (per direction) must carry flow; the bisection
+	// argument gives λ = 8/n... verify against brute known case n=4:
+	// commodities (0,2),(1,3),(2,0),(3,1), each can use 2 disjoint 2-hop
+	// paths; total demand crossing any cut of 2 edges is 2 per direction.
+	// By symmetry each edge-direction carries λ·(2 hops·4 demands)/8 arcs =
+	// λ; so λ = 1.
+	g := ring(4)
+	comms := []Commodity{{0, 2, 1}, {1, 3, 1}, {2, 0, 1}, {3, 1, 1}}
+	res := MaxConcurrentFlow(g, comms, Options{})
+	check(t, res, 1.0, 0.08)
+}
+
+func TestCompleteGraphPermutation(t *testing.T) {
+	// K6 with a cyclic permutation: every commodity has a direct edge,
+	// plus abundant 2-hop spare capacity; λ should be well above 1. The
+	// exact optimum for a single-cycle permutation on K_n is 1 + (n-2)/2·...
+	// — we only assert λ ≥ 2 (direct path gives 1, 2-hop paths add more).
+	n := 6
+	g := complete(n)
+	var comms []Commodity
+	for i := 0; i < n; i++ {
+		comms = append(comms, Commodity{i, (i + 1) % n, 1})
+	}
+	res := MaxConcurrentFlow(g, comms, Options{})
+	if res.Lambda < 2 {
+		t.Fatalf("K6 cyclic permutation lambda = %v, want >= 2", res.Lambda)
+	}
+	if res.Lambda > res.UpperBound {
+		t.Fatalf("primal exceeds dual")
+	}
+}
+
+func TestStarBottleneck(t *testing.T) {
+	// Star with center 0, leaves 1..4. Leaves 1→2 and 3→4 both cross the
+	// center; each leaf edge carries at most 1, center edges shared by one
+	// flow each: λ = 1.
+	g := graph.New(5)
+	for v := 1; v <= 4; v++ {
+		g.AddEdge(0, v)
+	}
+	comms := []Commodity{{1, 2, 1}, {3, 4, 1}}
+	res := MaxConcurrentFlow(g, comms, Options{})
+	check(t, res, 1.0, 0.08)
+}
+
+func TestStarOversubscribed(t *testing.T) {
+	// Two flows from the same leaf saturate its single uplink: λ = 1/2.
+	g := graph.New(4)
+	for v := 1; v <= 3; v++ {
+		g.AddEdge(0, v)
+	}
+	comms := []Commodity{{1, 2, 1}, {1, 3, 1}}
+	res := MaxConcurrentFlow(g, comms, Options{})
+	check(t, res, 0.5, 0.08)
+}
+
+func TestLinkCapacityScales(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	res := MaxConcurrentFlow(g, []Commodity{{0, 1, 1}}, Options{LinkCapacity: 10})
+	check(t, res, 10.0, 0.08)
+}
+
+func TestFeasibleAtFull(t *testing.T) {
+	g := ring(4)
+	if !FeasibleAtFull(g, []Commodity{{0, 2, 1}}, Options{}, 0.05) {
+		t.Fatal("clearly feasible instance rejected")
+	}
+	g2 := graph.New(2)
+	g2.AddEdge(0, 1)
+	if FeasibleAtFull(g2, []Commodity{{0, 1, 3}}, Options{}, 0.05) {
+		t.Fatal("clearly infeasible instance accepted")
+	}
+}
+
+func TestCertificatesBracketOnRandomInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + r.Intn(12)
+		g := graph.New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		if !g.Connected() {
+			continue
+		}
+		perm := r.Perm(n)
+		var comms []Commodity
+		for i, p := range perm {
+			if i != p {
+				comms = append(comms, Commodity{i, p, 1})
+			}
+		}
+		res := MaxConcurrentFlow(g, comms, Options{})
+		if res.Lambda <= 0 {
+			t.Fatalf("trial %d: lambda = %v on connected instance", trial, res.Lambda)
+		}
+		if res.Lambda > res.UpperBound+1e-9 {
+			t.Fatalf("trial %d: primal %v > dual %v", trial, res.Lambda, res.UpperBound)
+		}
+		gap := (res.UpperBound - res.Lambda) / res.UpperBound
+		if gap > 0.10 {
+			t.Fatalf("trial %d: certificate gap %v too large", trial, gap)
+		}
+	}
+}
+
+// The scaled arc flows must respect capacity and deliver λ·demand per
+// commodity in aggregate (flow conservation checked via total volume).
+func TestArcFlowFeasibility(t *testing.T) {
+	g := ring(6)
+	comms := []Commodity{{0, 3, 1}, {1, 4, 1}, {2, 5, 1}}
+	opt := Options{}.withDefaults()
+	res := MaxConcurrentFlow(g, comms, Options{})
+	for i, f := range res.ArcFlow {
+		if f > opt.LinkCapacity+1e-6 {
+			t.Fatalf("arc %d flow %v exceeds capacity", i, f)
+		}
+	}
+}
+
+func TestTighterEpsilonTightensGap(t *testing.T) {
+	g := ring(8)
+	comms := []Commodity{{0, 4, 1}, {2, 6, 1}}
+	loose := MaxConcurrentFlow(g, comms, Options{Epsilon: 0.3, Tol: 0.15})
+	tight := MaxConcurrentFlow(g, comms, Options{Epsilon: 0.05, Tol: 0.01, MaxPhases: 20000})
+	gapL := (loose.UpperBound - loose.Lambda) / loose.UpperBound
+	gapT := (tight.UpperBound - tight.Lambda) / tight.UpperBound
+	if gapT > gapL+1e-9 {
+		t.Fatalf("tight eps gap %v not better than loose %v", gapT, gapL)
+	}
+	if gapT > 0.011 {
+		t.Fatalf("tight gap %v exceeds requested tolerance", gapT)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Epsilon != 0.1 || o.Tol != 0.05 || o.MaxPhases != 3000 || o.LinkCapacity != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	custom := Options{Epsilon: 0.2, Tol: 0.01, MaxPhases: 7, LinkCapacity: 4}.withDefaults()
+	if custom != (Options{Epsilon: 0.2, Tol: 0.01, MaxPhases: 7, LinkCapacity: 4}) {
+		t.Fatalf("custom options overwritten: %+v", custom)
+	}
+}
+
+func TestMaxPhasesCapRespected(t *testing.T) {
+	g := ring(8)
+	comms := []Commodity{{0, 4, 1}, {1, 5, 1}, {2, 6, 1}}
+	res := MaxConcurrentFlow(g, comms, Options{MaxPhases: 3, Tol: 1e-9, Epsilon: 0.01})
+	if res.Phases > 3 {
+		t.Fatalf("phases = %d, cap was 3", res.Phases)
+	}
+	// Even truncated, certificates must bracket.
+	if res.Lambda > res.UpperBound+1e-9 {
+		t.Fatalf("certificates inverted: %v > %v", res.Lambda, res.UpperBound)
+	}
+}
+
+func TestFeasibleAtFullWithCapacity(t *testing.T) {
+	// Demand 3 over a capacity-4 link: feasible only thanks to capacity.
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	if !FeasibleAtFull(g, []Commodity{{0, 1, 3}}, Options{LinkCapacity: 4}, 0.05) {
+		t.Fatal("feasible instance rejected with LinkCapacity=4")
+	}
+	if FeasibleAtFull(g, []Commodity{{0, 1, 3}}, Options{LinkCapacity: 2}, 0.05) {
+		t.Fatal("infeasible instance accepted with LinkCapacity=2")
+	}
+}
+
+func TestResultEdgesIndexing(t *testing.T) {
+	g := ring(4)
+	res := MaxConcurrentFlow(g, []Commodity{{0, 2, 1}}, Options{})
+	if len(res.Edges) != 4 || len(res.ArcFlow) != 8 {
+		t.Fatalf("edges=%d arcs=%d, want 4, 8", len(res.Edges), len(res.ArcFlow))
+	}
+	// Flow conservation sanity: total arc flow equals λ·demand·meanhops;
+	// for one unit demand split over two 2-hop paths: 2·λ/... just assert
+	// positive flow on some arc.
+	var total float64
+	for _, f := range res.ArcFlow {
+		total += f
+	}
+	if total <= 0 {
+		t.Fatal("no flow recorded")
+	}
+}

@@ -1,0 +1,103 @@
+// Package metrics provides the summary statistics the paper reports:
+// Jain's fairness index over flow throughputs, normalized-throughput
+// aggregation, and distribution helpers for the rank plots (Figs. 9, 13).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) over the given
+// nonnegative values; 1 means perfectly fair. Returns 1 for empty input.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	// The index is scale-invariant; normalize by the maximum to avoid
+	// overflow on extreme inputs.
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		v := x / max
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Summary holds the average / minimum / maximum of a sample, the shape
+// reported by the paper's stability plot (Fig. 12).
+type Summary struct {
+	Mean, Min, Max float64
+	N              int
+}
+
+// Summarize computes a Summary. Empty input yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(xs)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}
+
+// RankAscending returns the values sorted ascending — the x-axis ordering
+// of the paper's rank plots (per-flow throughput in Fig. 13, per-link path
+// counts in Fig. 9).
+func RankAscending(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of the sample using
+// nearest-rank on a sorted copy. Empty input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := RankAscending(xs)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Clamp01 clamps x into [0,1] — normalized throughput can exceed 1 on
+// overprovisioned networks but a server cannot exceed its NIC rate.
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainFairnessEqual(t *testing.T) {
+	if f := JainFairness([]float64{5, 5, 5, 5}); f != 1 {
+		t.Fatalf("fairness = %v, want 1", f)
+	}
+}
+
+func TestJainFairnessSkewed(t *testing.T) {
+	// One user gets everything: index = 1/n.
+	f := JainFairness([]float64{1, 0, 0, 0})
+	if math.Abs(f-0.25) > 1e-12 {
+		t.Fatalf("fairness = %v, want 0.25", f)
+	}
+}
+
+func TestJainFairnessEmptyAndZero(t *testing.T) {
+	if JainFairness(nil) != 1 {
+		t.Fatal("empty fairness != 1")
+	}
+	if JainFairness([]float64{0, 0}) != 1 {
+		t.Fatal("all-zero fairness != 1")
+	}
+}
+
+func TestJainFairnessBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = math.Abs(math.Mod(x, 100))
+				if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+					xs[i] = 1
+				}
+			}
+		}
+		j := JainFairness(xs)
+		if len(xs) == 0 {
+			return j == 1
+		}
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestRankAscendingDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := RankAscending(in)
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+	if out[0] != 1 || out[2] != 3 {
+		t.Fatalf("rank = %v", out)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := Percentile(xs, 50); p != 50 {
+		t.Fatalf("P50 = %v, want 50", p)
+	}
+	if p := Percentile(xs, 100); p != 100 {
+		t.Fatalf("P100 = %v, want 100", p)
+	}
+	if p := Percentile(xs, 1); p != 10 {
+		t.Fatalf("P1 = %v, want 10", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.7, 0.7}, {1, 1}, {1.3, 1},
+	} {
+		if got := Clamp01(tc.in); got != tc.want {
+			t.Fatalf("Clamp01(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package packetsim is a discrete-event packet-level network simulator in
+// the spirit of htsim, the MPTCP simulator the paper uses for §5. It
+// complements internal/flowsim: flowsim computes the max-min fluid
+// equilibrium directly, while packetsim actually runs AIMD congestion
+// windows over store-and-forward links with drop-tail queues, providing an
+// independent check that the fluid model lands where real transport
+// dynamics land.
+//
+// The model, deliberately compact but mechanically faithful:
+//
+//   - Every directed switch-switch link and every server NIC is a Link
+//     with a fixed packet service time (1/line-rate) and a bounded FIFO
+//     queue; packets are dropped at the tail when the queue is full.
+//   - A flow is one or more subflows, each source-routed along a fixed
+//     switch path. Subflows run TCP NewReno-style AIMD: slow start to
+//     ssthresh, then +1 MSS per RTT; a drop detected via duplicate-ACK
+//     (modeled as a loss event when a packet of that subflow is dropped)
+//     halves the window.
+//   - MPTCP couples its subflows with LIA-flavored increase: each ACK
+//     grows the subflow by 1/wtotal instead of 1/w, so the aggregate is
+//     roughly as aggressive as one TCP, while drops halve only the
+//     affected subflow — traffic shifts away from congested paths.
+//   - ACKs return after the forward one-way delay without consuming
+//     bandwidth (standard teaching-simulator simplification).
+//
+// Time is in packet service units of the line rate: one unit = the time a
+// NIC needs to serialize one MSS. Goodput per flow is measured over the
+// second half of the run (the first half warms up).
+package packetsim
+
+import (
+	"container/heap"
+
+	"jellyfish/internal/rng"
+	"jellyfish/internal/routing"
+	"jellyfish/internal/traffic"
+)
+
+// Config tunes the simulator. Zero values select defaults.
+type Config struct {
+	// QueuePackets is the per-link FIFO capacity (default 64).
+	QueuePackets int
+	// Horizon is the simulated duration in packet service times
+	// (default 4000).
+	Horizon float64
+	// PropDelay is the per-hop propagation delay in service times
+	// (default 0.1).
+	PropDelay float64
+	// Subflows per flow for MPTCP (default 8).
+	Subflows int
+	// Coupled selects MPTCP coupling (LIA-style increase); false gives
+	// independent NewReno subflows.
+	Coupled bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueuePackets == 0 {
+		c.QueuePackets = 64
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 4000
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = 0.1
+	}
+	if c.Subflows == 0 {
+		c.Subflows = 8
+	}
+	return c
+}
+
+// Result reports measured per-flow goodput in NIC-rate units.
+type Result struct {
+	FlowGoodput []float64
+}
+
+// Mean returns the average goodput across flows.
+func (r Result) Mean() float64 {
+	if len(r.FlowGoodput) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range r.FlowGoodput {
+		s += x
+	}
+	return s / float64(len(r.FlowGoodput))
+}
+
+// link is a unit-rate transmission resource with a drop-tail queue. With
+// unit-size packets, the number of packets in the system at time t is
+// exactly busyUntil − t service times, so no explicit queue is needed.
+type link struct {
+	busyUntil float64
+	capQueue  int
+}
+
+// subflow is one AIMD congestion-window instance pinned to a path.
+type subflow struct {
+	flow     int
+	links    []int // link IDs along the path, in order (incl. NICs)
+	cwnd     float64
+	ssthresh float64
+	inFlight int
+	// delivered counts packets ACKed after warmup.
+	delivered   int
+	lossPending bool
+}
+
+type evKind int
+
+const (
+	evArrive evKind = iota // packet reaches head of link l, begins service
+	evAck                  // ACK returns to the sender
+)
+
+type event struct {
+	t    time_
+	kind evKind
+	sub  int
+	hop  int
+	drop bool
+}
+
+type time_ = float64
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulate runs the packet simulation for the given flows over the route
+// table. proto semantics match flowsim: TCP1 = one subflow on a hashed
+// route, TCP8 = eight independent subflows on hashed routes, MPTCP8 =
+// eight coupled subflows on distinct routes.
+func Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config, src *rng.Source) Result {
+	cfg := cfgIn.withDefaults()
+
+	// Link registry: NICs and directed switch links.
+	linkID := map[[2]int]int{}
+	var links []link
+	getLink := func(key [2]int) int {
+		if id, ok := linkID[key]; ok {
+			return id
+		}
+		links = append(links, link{capQueue: cfg.QueuePackets})
+		linkID[key] = len(links) - 1
+		return len(links) - 1
+	}
+
+	var subs []subflow
+	flowRate := make([]float64, len(flows))
+	local := make([]bool, len(flows))
+	flowSubs := make([][]int, len(flows))
+
+	for fi, f := range flows {
+		if f.SrcSwitch == f.DstSwitch {
+			local[fi] = true
+			flowRate[fi] = 1
+			continue
+		}
+		paths := table.PathsFor(f.SrcSwitch, f.DstSwitch)
+		if len(paths) == 0 {
+			continue
+		}
+		n := cfg.Subflows
+		for s := 0; s < n; s++ {
+			var p []int
+			if cfg.Coupled {
+				p = paths[s%len(paths)]
+			} else {
+				p = paths[src.Intn(len(paths))]
+			}
+			ls := []int{getLink([2]int{-1, f.SrcServer})}
+			for i := 0; i+1 < len(p); i++ {
+				ls = append(ls, getLink([2]int{p[i], p[i+1]}))
+			}
+			ls = append(ls, getLink([2]int{-2, f.DstServer}))
+			subs = append(subs, subflow{
+				flow: fi, links: ls, cwnd: 2, ssthresh: 32,
+			})
+			flowSubs[fi] = append(flowSubs[fi], len(subs)-1)
+		}
+	}
+
+	events := &eventHeap{}
+	warmup := cfg.Horizon / 2
+
+	// inject sends packets for subflow si until cwnd is filled.
+	var inject func(now float64, si int)
+	inject = func(now float64, si int) {
+		sf := &subs[si]
+		for sf.inFlight < int(sf.cwnd) {
+			sf.inFlight++
+			heap.Push(events, event{t: now, kind: evArrive, sub: si, hop: 0})
+		}
+	}
+
+	// serve enqueues the packet at links[hop] (or drops it at the tail).
+	serve := func(now float64, si, hop int) {
+		sf := &subs[si]
+		l := &links[sf.links[hop]]
+		backlog := l.busyUntil - now
+		if backlog < 0 {
+			backlog = 0
+		}
+		if backlog >= float64(l.capQueue) {
+			// Drop-tail: the sender learns via duplicate ACKs after the
+			// one-way delay accumulated so far.
+			heap.Push(events, event{t: now + cfg.PropDelay*float64(hop+1), kind: evAck, sub: si, drop: true})
+			return
+		}
+		done := now + backlog + 1 // queueing + one service time
+		l.busyUntil = done
+		if hop+1 < len(sf.links) {
+			heap.Push(events, event{t: done + cfg.PropDelay, kind: evArrive, sub: si, hop: hop + 1})
+		} else {
+			heap.Push(events, event{t: done + cfg.PropDelay, kind: evAck, sub: si})
+		}
+	}
+
+	coupledIncrease := func(fi int) float64 {
+		var wtot float64
+		for _, si := range flowSubs[fi] {
+			wtot += subs[si].cwnd
+		}
+		if wtot < 1 {
+			wtot = 1
+		}
+		return 1 / wtot
+	}
+
+	for si := range subs {
+		inject(0, si)
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(events).(event)
+		if ev.t > cfg.Horizon {
+			break
+		}
+		sf := &subs[ev.sub]
+		switch ev.kind {
+		case evArrive:
+			serve(ev.t, ev.sub, ev.hop)
+		case evAck:
+			sf.inFlight--
+			if ev.drop {
+				// Loss event: multiplicative decrease (once per window).
+				if !sf.lossPending {
+					sf.ssthresh = sf.cwnd / 2
+					if sf.ssthresh < 1 {
+						sf.ssthresh = 1
+					}
+					sf.cwnd = sf.ssthresh
+					sf.lossPending = true
+				}
+			} else {
+				sf.lossPending = false
+				if ev.t > warmup {
+					sf.delivered++
+				}
+				if sf.cwnd < sf.ssthresh {
+					sf.cwnd++ // slow start
+				} else if cfg.Coupled {
+					sf.cwnd += coupledIncrease(sf.flow)
+				} else {
+					sf.cwnd += 1 / sf.cwnd // congestion avoidance
+				}
+			}
+			inject(ev.t, ev.sub)
+		}
+	}
+
+	window := cfg.Horizon - warmup
+	for si := range subs {
+		flowRate[subs[si].flow] += float64(subs[si].delivered) / window
+	}
+	for fi := range flowRate {
+		if !local[fi] && flowRate[fi] > 1 {
+			flowRate[fi] = 1
+		}
+	}
+	return Result{FlowGoodput: flowRate}
+}

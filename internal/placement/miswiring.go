@@ -1,0 +1,121 @@
+package placement
+
+import (
+	"sort"
+
+	"jellyfish/internal/graph"
+	"jellyfish/internal/rng"
+	"jellyfish/internal/topology"
+)
+
+// §6.1: cabling is performed by hand from a generated blueprint, so some
+// miswirings are inevitable; the paper argues they are cheap to detect
+// (link-layer discovery) and often harmless (a random graph with a few
+// swapped cables is just another random graph). This file provides the
+// machinery to simulate, detect, and quantify miswirings.
+
+// Miswiring records one divergence between blueprint and as-built network.
+type Miswiring struct {
+	Missing graph.Edge // in the blueprint but not observed
+	Extra   graph.Edge // observed but not in the blueprint
+}
+
+// ApplyRandomMiswirings simulates a careless cabling crew: count times,
+// two random cables have one endpoint each swapped — (a,b),(c,d) become
+// (a,d),(c,b) — exactly the error a worker makes by crossing two plugs.
+// Returns the number of swaps actually applied (a swap is skipped when it
+// would create a duplicate link or self-loop).
+func ApplyRandomMiswirings(t *topology.Topology, count int, src *rng.Source) int {
+	g := t.Graph
+	applied := 0
+	guard := 0
+	for applied < count && guard < 100*count+100 {
+		guard++
+		e1, ok1 := randomEdgeOf(g, src)
+		e2, ok2 := randomEdgeOf(g, src)
+		if !ok1 || !ok2 {
+			break
+		}
+		a, b, c, d := e1.U, e1.V, e2.U, e2.V
+		if a == c || a == d || b == c || b == d {
+			continue
+		}
+		if g.HasEdge(a, d) || g.HasEdge(c, b) {
+			continue
+		}
+		g.RemoveEdge(a, b)
+		g.RemoveEdge(c, d)
+		g.AddEdge(a, d)
+		g.AddEdge(c, b)
+		applied++
+	}
+	return applied
+}
+
+// DetectMiswirings compares the as-built network against its blueprint —
+// what a link-layer discovery sweep reports. Results are sorted for
+// deterministic output.
+func DetectMiswirings(blueprint, built *topology.Topology) []Miswiring {
+	bpSet := map[graph.Edge]bool{}
+	for _, e := range blueprint.Graph.Edges() {
+		bpSet[e] = true
+	}
+	builtSet := map[graph.Edge]bool{}
+	for _, e := range built.Graph.Edges() {
+		builtSet[e] = true
+	}
+	var missing, extra []graph.Edge
+	for e := range bpSet {
+		if !builtSet[e] {
+			missing = append(missing, e)
+		}
+	}
+	for e := range builtSet {
+		if !bpSet[e] {
+			extra = append(extra, e)
+		}
+	}
+	sortEdges(missing)
+	sortEdges(extra)
+	// Pair them positionally; lengths can differ if links were dropped
+	// rather than swapped.
+	n := len(missing)
+	if len(extra) > n {
+		n = len(extra)
+	}
+	out := make([]Miswiring, n)
+	for i := 0; i < n; i++ {
+		if i < len(missing) {
+			out[i].Missing = missing[i]
+		}
+		if i < len(extra) {
+			out[i].Extra = extra[i]
+		}
+	}
+	return out
+}
+
+func sortEdges(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}
+
+// randomEdgeOf samples a uniform random edge in O(N).
+func randomEdgeOf(g *graph.Graph, src *rng.Source) (graph.Edge, bool) {
+	if g.M() == 0 {
+		return graph.Edge{}, false
+	}
+	target := src.Intn(2 * g.M())
+	for u := 0; u < g.N(); u++ {
+		d := g.Degree(u)
+		if target < d {
+			return graph.Canon(u, g.Neighbors(u)[target]), true
+		}
+		target -= d
+	}
+	return graph.Edge{}, false
+}

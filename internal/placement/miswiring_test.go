@@ -1,0 +1,77 @@
+package placement
+
+import (
+	"testing"
+
+	"jellyfish/internal/rng"
+	"jellyfish/internal/topology"
+)
+
+func TestApplyRandomMiswiringsPreservesDegrees(t *testing.T) {
+	top := topology.Jellyfish(30, 10, 6, rng.New(1))
+	degrees := make([]int, 30)
+	for i := range degrees {
+		degrees[i] = top.Graph.Degree(i)
+	}
+	applied := ApplyRandomMiswirings(top, 5, rng.New(2))
+	if applied != 5 {
+		t.Fatalf("applied = %d, want 5", applied)
+	}
+	for i := range degrees {
+		if top.Graph.Degree(i) != degrees[i] {
+			t.Fatalf("miswiring changed degree of switch %d", i)
+		}
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectMiswiringsFindsSwaps(t *testing.T) {
+	blueprint := topology.Jellyfish(30, 10, 6, rng.New(3))
+	built := blueprint.Clone()
+	applied := ApplyRandomMiswirings(built, 4, rng.New(4))
+	found := DetectMiswirings(blueprint, built)
+	// Each endpoint swap disturbs 2 cables: 2 missing + 2 extra pairs.
+	if len(found) != 2*applied {
+		t.Fatalf("found %d miswirings for %d swaps, want %d", len(found), applied, 2*applied)
+	}
+	for _, m := range found {
+		if !blueprint.Graph.HasEdge(m.Missing.U, m.Missing.V) {
+			t.Fatalf("reported missing cable %v not in blueprint", m.Missing)
+		}
+		if !built.Graph.HasEdge(m.Extra.U, m.Extra.V) {
+			t.Fatalf("reported extra cable %v not in built network", m.Extra)
+		}
+	}
+}
+
+func TestDetectMiswiringsCleanBuild(t *testing.T) {
+	blueprint := topology.Jellyfish(20, 8, 4, rng.New(5))
+	if found := DetectMiswirings(blueprint, blueprint); len(found) != 0 {
+		t.Fatalf("clean build reported %d miswirings", len(found))
+	}
+}
+
+func TestApplyMiswiringsEmptyGraph(t *testing.T) {
+	top := topology.Jellyfish(10, 6, 3, rng.New(6))
+	topology.RemoveRandomLinks(top, 1.0, rng.New(7))
+	if applied := ApplyRandomMiswirings(top, 3, rng.New(8)); applied != 0 {
+		t.Fatalf("applied %d miswirings to linkless network", applied)
+	}
+}
+
+// §6.1's claim: a few miswirings often need no fixing at all — the network
+// stays connected and path lengths barely move.
+func TestMiswiringsAreHarmless(t *testing.T) {
+	top := topology.Jellyfish(60, 12, 8, rng.New(9))
+	before := top.Graph.AllPairsStats().Mean
+	ApplyRandomMiswirings(top, 10, rng.New(10))
+	if !top.Graph.Connected() {
+		t.Fatal("10 miswirings disconnected the network")
+	}
+	after := top.Graph.AllPairsStats().Mean
+	if after > before*1.05 {
+		t.Fatalf("10 miswirings inflated mean path: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,210 @@
+// Package placement models the physical construction concerns of §6:
+// rack/switch-cluster layout with cable-length accounting for small
+// clusters, and the locality-constrained "2-layer" Jellyfish used for
+// massive-scale container data centers (Fig. 14).
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"jellyfish/internal/graph"
+	"jellyfish/internal/rng"
+	"jellyfish/internal/topology"
+)
+
+// ElectricalLimitMeters is the cable length beyond which an electrical
+// cable must be replaced by (much more expensive) optics (§6: <10 m).
+const ElectricalLimitMeters = 10.0
+
+// TwoLayerJellyfish builds the locality-constrained Jellyfish of §6.3:
+// switches are split evenly over containers; each switch dedicates
+// round(localFrac·r) of its r network ports to random links inside its own
+// container and the rest to random links across containers. The container
+// of switch i is i / switchesPerContainer.
+func TwoLayerJellyfish(containers, switchesPerContainer, k, r int, localFrac float64, src *rng.Source) *topology.Topology {
+	if localFrac < 0 || localFrac > 1 {
+		panic(fmt.Sprintf("placement: localFrac %v out of [0,1]", localFrac))
+	}
+	n := containers * switchesPerContainer
+	t := &topology.Topology{
+		Name:    fmt.Sprintf("jellyfish-2layer(c=%d,spc=%d,local=%.2f)", containers, switchesPerContainer, localFrac),
+		Graph:   graph.New(n),
+		Ports:   make([]int, n),
+		Servers: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Ports[i] = k
+		t.Servers[i] = k - r
+	}
+	localDeg := int(math.Round(localFrac * float64(r)))
+	if localDeg >= switchesPerContainer {
+		localDeg = switchesPerContainer - 1
+	}
+	globalDeg := r - localDeg
+
+	// Layer 1: a random regular graph inside each container.
+	for c := 0; c < containers; c++ {
+		members := make([]int, switchesPerContainer)
+		for j := range members {
+			members[j] = c*switchesPerContainer + j
+		}
+		wireSubset(t.Graph, members, localDeg, src.SplitN("local", c))
+	}
+	// Layer 2: a random graph over the remaining ports, constrained to
+	// cross containers.
+	wireGlobal(t.Graph, n, switchesPerContainer, globalDeg, localDeg, src.Split("global"))
+	return t
+}
+
+// Container returns the container of switch id under TwoLayerJellyfish's
+// layout.
+func Container(id, switchesPerContainer int) int { return id / switchesPerContainer }
+
+// LocalLinkFraction measures the fraction of links staying inside one
+// container.
+func LocalLinkFraction(g *graph.Graph, switchesPerContainer int) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	local := 0
+	for _, e := range g.Edges() {
+		if Container(e.U, switchesPerContainer) == Container(e.V, switchesPerContainer) {
+			local++
+		}
+	}
+	return float64(local) / float64(g.M())
+}
+
+// wireSubset wires a degree-bounded random graph among the given members.
+func wireSubset(g *graph.Graph, members []int, degree int, src *rng.Source) {
+	if degree <= 0 {
+		return
+	}
+	// Local wiring runs before any global links exist, so every incident
+	// edge of a member is local and plain degree suffices.
+	free := func(u int) int { return degree - g.Degree(u) }
+	stall := 0
+	for {
+		var candidates []int
+		for _, u := range members {
+			if free(u) > 0 {
+				candidates = append(candidates, u)
+			}
+		}
+		if len(candidates) < 2 {
+			break
+		}
+		u := candidates[src.Intn(len(candidates))]
+		v := candidates[src.Intn(len(candidates))]
+		if u == v || g.HasEdge(u, v) {
+			stall++
+			if stall > 100*len(members) {
+				break
+			}
+			continue
+		}
+		g.AddEdge(u, v)
+		stall = 0
+	}
+}
+
+// wireGlobal wires cross-container links until every switch reaches its
+// total degree budget (localDeg+globalDeg) or no progress is possible.
+func wireGlobal(g *graph.Graph, n, spc, globalDeg, localDeg int, src *rng.Source) {
+	if globalDeg <= 0 {
+		return
+	}
+	total := globalDeg + localDeg
+	free := func(u int) int { return total - g.Degree(u) }
+	stall := 0
+	for {
+		var candidates []int
+		for u := 0; u < n; u++ {
+			if free(u) > 0 {
+				candidates = append(candidates, u)
+			}
+		}
+		if len(candidates) < 2 {
+			break
+		}
+		u := candidates[src.Intn(len(candidates))]
+		v := candidates[src.Intn(len(candidates))]
+		if u == v || g.HasEdge(u, v) || Container(u, spc) == Container(v, spc) {
+			stall++
+			if stall > 100*n {
+				break
+			}
+			continue
+		}
+		g.AddEdge(u, v)
+		stall = 0
+	}
+}
+
+// ---- Small-cluster layout & cabling (§6.2) ----
+
+// Layout places racks on a 2D floor grid and switches either with their
+// racks or aggregated in a central switch-cluster, and prices the cabling.
+type Layout struct {
+	// RackPitch is the center-to-center rack spacing in meters.
+	RackPitch float64
+	// SwitchCluster places all switches centrally (the §6.2 optimization)
+	// instead of one switch on top of each rack.
+	SwitchCluster bool
+}
+
+// CableReport summarizes the cable plan for a topology under a layout.
+type CableReport struct {
+	Cables          int     // switch-switch cables
+	TotalMeters     float64 // total trunk length
+	MeanMeters      float64
+	MaxMeters       float64
+	OpticalCables   int // cables longer than ElectricalLimitMeters
+	LocalFraction   float64
+	AggregateTrunks int // distinct rack-pair trunk routes
+}
+
+// PlanCables computes the cable plan: racks are placed on a near-square
+// grid, one switch per rack (or all switches centrally with
+// SwitchCluster), with Manhattan cable routing.
+func (l Layout) PlanCables(t *topology.Topology) CableReport {
+	n := t.NumSwitches()
+	pitch := l.RackPitch
+	if pitch == 0 {
+		pitch = 0.6 // standard rack width
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	pos := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		if l.SwitchCluster {
+			// All switches in a central cluster: intra-cluster runs are
+			// single-rack scale.
+			pos[i] = [2]float64{0, 0}
+		} else {
+			pos[i] = [2]float64{float64(i%cols) * pitch, float64(i/cols) * pitch}
+		}
+	}
+	rep := CableReport{}
+	trunks := map[[2]int]bool{}
+	for _, e := range t.Graph.Edges() {
+		du := math.Abs(pos[e.U][0]-pos[e.V][0]) + math.Abs(pos[e.U][1]-pos[e.V][1])
+		if l.SwitchCluster {
+			du = 2 // intra-cluster patch length
+		}
+		rep.Cables++
+		rep.TotalMeters += du
+		if du > rep.MaxMeters {
+			rep.MaxMeters = du
+		}
+		if du > ElectricalLimitMeters {
+			rep.OpticalCables++
+		}
+		trunks[[2]int{e.U / 8, e.V / 8}] = true
+	}
+	if rep.Cables > 0 {
+		rep.MeanMeters = rep.TotalMeters / float64(rep.Cables)
+	}
+	rep.AggregateTrunks = len(trunks)
+	return rep
+}

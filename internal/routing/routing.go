@@ -1,0 +1,232 @@
+// Package routing builds the forwarding state evaluated in §5 of the paper:
+// ECMP (equal-cost multi-path over shortest paths, 8- or 64-way) and Yen's
+// k-shortest-path routing, plus the per-link distinct-path counts behind
+// Fig. 9's "ECMP is not enough" result.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"jellyfish/internal/graph"
+	"jellyfish/internal/rng"
+)
+
+// A Pair identifies an ordered (srcSwitch, dstSwitch) route-table entry.
+type Pair struct{ Src, Dst int }
+
+// Table maps switch pairs to their usable path sets, in deterministic
+// (shortest-first) order.
+type Table struct {
+	Paths map[Pair][]graph.Path
+	// Kind records how the table was built ("ecmp-8", "ksp-8", ...).
+	Kind string
+}
+
+// PathsFor returns the path set for the given pair (nil if absent).
+func (t *Table) PathsFor(src, dst int) []graph.Path {
+	return t.Paths[Pair{src, dst}]
+}
+
+// KShortest builds a k-shortest-path table for the given pairs using Yen's
+// algorithm on the switch graph.
+func KShortest(g *graph.Graph, pairs []Pair, k int) *Table {
+	t := &Table{Paths: make(map[Pair][]graph.Path, len(pairs)), Kind: kindName("ksp", k)}
+	for _, p := range pairs {
+		if _, done := t.Paths[p]; done {
+			continue
+		}
+		t.Paths[p] = g.KShortestPaths(p.Src, p.Dst, k)
+	}
+	return t
+}
+
+// ECMP builds an equal-cost multipath table: for each pair, up to w
+// distinct shortest paths sampled uniformly from the shortest-path DAG —
+// modeling hash-based ECMP, which spreads flows over ALL equal-cost
+// next-hops rather than a lexicographically-first subset. Pass src for
+// reproducible sampling.
+func ECMP(g *graph.Graph, pairs []Pair, w int, src *rng.Source) *Table {
+	t := &Table{Paths: make(map[Pair][]graph.Path, len(pairs)), Kind: kindName("ecmp", w)}
+	// Group by source so one BFS serves all pairs from that source.
+	bySrc := map[int][]int{}
+	for _, p := range pairs {
+		bySrc[p.Src] = append(bySrc[p.Src], p.Dst)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	for _, s := range srcs {
+		dist := g.BFS(s)
+		// npaths[v]: number of shortest s→v paths (saturating float64 —
+		// only ratios are needed for uniform sampling).
+		npaths := pathCounts(g, s, dist)
+		for _, dst := range bySrc[s] {
+			p := Pair{s, dst}
+			if _, done := t.Paths[p]; done {
+				continue
+			}
+			t.Paths[p] = sampleEqualCostPaths(g, s, dst, dist, npaths, w, src)
+		}
+	}
+	return t
+}
+
+// pathCounts computes the number of shortest paths from s to every vertex
+// by DP in BFS-distance order.
+func pathCounts(g *graph.Graph, s int, dist []int) []float64 {
+	n := g.N()
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if dist[v] != graph.Unreachable {
+			order = append(order, v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+	np := make([]float64, n)
+	np[s] = 1
+	for _, v := range order {
+		if v == s {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == dist[v]-1 {
+				np[v] += np[u]
+			}
+		}
+	}
+	return np
+}
+
+// sampleEqualCostPaths draws up to w distinct uniform-random shortest
+// paths from s to dst. If the DAG holds ≤ w paths they are all returned
+// (deduplicated exhaustively); otherwise rejection sampling collects w
+// distinct ones.
+func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float64, w int, src *rng.Source) []graph.Path {
+	if dist[dst] == graph.Unreachable {
+		return nil
+	}
+	if s == dst {
+		return []graph.Path{{s}}
+	}
+	total := npaths[dst]
+	want := w
+	if total <= float64(w) {
+		want = int(total)
+	}
+	seen := map[string]bool{}
+	var out []graph.Path
+	attempts := 0
+	maxAttempts := 20 * w
+	for len(out) < want && attempts < maxAttempts {
+		attempts++
+		// Walk backwards from dst, choosing each predecessor u with
+		// probability npaths[u]/Σ — a uniform random shortest path.
+		path := make(graph.Path, dist[dst]+1)
+		path[len(path)-1] = dst
+		v := dst
+		for i := len(path) - 2; i >= 0; i-- {
+			var sum float64
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dist[v]-1 {
+					sum += npaths[u]
+				}
+			}
+			x := src.Float64() * sum
+			next := -1
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dist[v]-1 {
+					x -= npaths[u]
+					next = u
+					if x <= 0 {
+						break
+					}
+				}
+			}
+			v = next
+			path[i] = v
+		}
+		key := pathKey(path)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, path)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return lessPath(out[a], out[b]) })
+	return out
+}
+
+func pathKey(p graph.Path) string {
+	b := make([]byte, 0, 4*len(p))
+	for _, v := range p {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func lessPath(a, b graph.Path) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// LinkLoad counts, for every directed link, the number of distinct table
+// paths that traverse it — the y-axis of Fig. 9. Each cable counts as two
+// links, one per direction; links on no path are included with count 0.
+func LinkLoad(g *graph.Graph, t *Table) map[[2]int]int {
+	counts := make(map[[2]int]int, 2*g.M())
+	for _, e := range g.Edges() {
+		counts[[2]int{e.U, e.V}] = 0
+		counts[[2]int{e.V, e.U}] = 0
+	}
+	for _, paths := range t.Paths {
+		for _, p := range paths {
+			for i := 0; i+1 < len(p); i++ {
+				counts[[2]int{p[i], p[i+1]}]++
+			}
+		}
+	}
+	return counts
+}
+
+// RankedLinkLoads returns the per-directed-link path counts sorted
+// ascending (the rank-plot series of Fig. 9).
+func RankedLinkLoads(g *graph.Graph, t *Table) []int {
+	counts := LinkLoad(g, t)
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PairsForCommodities extracts the distinct switch pairs (src != dst) from
+// server-level flow endpoints.
+func PairsForCommodities(srcDst [][2]int) []Pair {
+	seen := map[Pair]bool{}
+	var out []Pair
+	for _, sd := range srcDst {
+		if sd[0] == sd[1] {
+			continue
+		}
+		p := Pair{sd[0], sd[1]}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func kindName(base string, n int) string {
+	return fmt.Sprintf("%s-%d", base, n)
+}

@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"jellyfish/internal/graph"
+)
+
+// blueprint is the stable on-disk representation of a Topology: the
+// construction blueprint handed to cabling crews (§6.1 envisions exactly
+// this artifact being generated automatically and wired by hand).
+type blueprint struct {
+	Name    string   `json:"name"`
+	Ports   []int    `json:"ports"`
+	Servers []int    `json:"servers"`
+	Links   [][2]int `json:"links"`
+}
+
+// WriteBlueprint serializes the topology as JSON.
+func (t *Topology) WriteBlueprint(w io.Writer) error {
+	bp := blueprint{
+		Name:    t.Name,
+		Ports:   t.Ports,
+		Servers: t.Servers,
+		Links:   make([][2]int, 0, t.Graph.M()),
+	}
+	for _, e := range t.Graph.Edges() {
+		bp.Links = append(bp.Links, [2]int{e.U, e.V})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bp)
+}
+
+// ReadBlueprint deserializes a topology written by WriteBlueprint,
+// validating structural invariants (port budgets, simple graph, ID range).
+func ReadBlueprint(r io.Reader) (*Topology, error) {
+	var bp blueprint
+	if err := json.NewDecoder(r).Decode(&bp); err != nil {
+		return nil, fmt.Errorf("topology: decoding blueprint: %w", err)
+	}
+	n := len(bp.Ports)
+	if len(bp.Servers) != n {
+		return nil, fmt.Errorf("topology: blueprint has %d port entries but %d server entries", n, len(bp.Servers))
+	}
+	t := &Topology{
+		Name:    bp.Name,
+		Graph:   graph.New(n),
+		Ports:   bp.Ports,
+		Servers: bp.Servers,
+	}
+	for i, l := range bp.Links {
+		u, v := l[0], l[1]
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("topology: blueprint link %d (%d,%d) out of range [0,%d)", i, u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("topology: blueprint link %d is a self-loop at %d", i, u)
+		}
+		if !t.Graph.AddEdge(u, v) {
+			return nil, fmt.Errorf("topology: blueprint link %d (%d,%d) duplicated", i, u, v)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RewirePlan lists the physical cabling operations turning one topology
+// into another: §4.2's expansion procedure promises rewiring limited to
+// the ports being added, and §6.2 notes the moves "can be automatically
+// identified" — this is that identification.
+type RewirePlan struct {
+	Remove []graph.Edge // cables present before but not after
+	Add    []graph.Edge // cables present after but not before
+}
+
+// Moves returns the total number of cable operations.
+func (p RewirePlan) Moves() int { return len(p.Remove) + len(p.Add) }
+
+// PlanRewiring diffs two topologies' link sets. The switch ID spaces must
+// be consistent (after may have more switches than before).
+func PlanRewiring(before, after *Topology) RewirePlan {
+	beforeSet := map[graph.Edge]bool{}
+	for _, e := range before.Graph.Edges() {
+		beforeSet[e] = true
+	}
+	var plan RewirePlan
+	afterSet := map[graph.Edge]bool{}
+	for _, e := range after.Graph.Edges() {
+		afterSet[e] = true
+		if !beforeSet[e] {
+			plan.Add = append(plan.Add, e)
+		}
+	}
+	for _, e := range before.Graph.Edges() {
+		if !afterSet[e] {
+			plan.Remove = append(plan.Remove, e)
+		}
+	}
+	return plan
+}

@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jellyfish/internal/rng"
+)
+
+func TestBlueprintRoundTrip(t *testing.T) {
+	orig := Jellyfish(25, 10, 6, rng.New(1))
+	var buf bytes.Buffer
+	if err := orig.WriteBlueprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBlueprint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.NumServers() != orig.NumServers() {
+		t.Fatalf("metadata mismatch: %s vs %s", got, orig)
+	}
+	eo, eg := orig.Graph.Edges(), got.Graph.Edges()
+	if len(eo) != len(eg) {
+		t.Fatalf("edge counts differ: %d vs %d", len(eo), len(eg))
+	}
+	for i := range eo {
+		if eo[i] != eg[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestReadBlueprintRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"length":         `{"ports":[4,4],"servers":[1],"links":[]}`,
+		"out of range":   `{"ports":[4,4],"servers":[1,1],"links":[[0,5]]}`,
+		"self loop":      `{"ports":[4,4],"servers":[1,1],"links":[[1,1]]}`,
+		"duplicate link": `{"ports":[4,4],"servers":[1,1],"links":[[0,1],[1,0]]}`,
+		"port overflow":  `{"ports":[1,4,4],"servers":[1,1,1],"links":[[0,1],[0,2]]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadBlueprint(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestPlanRewiringExpansion(t *testing.T) {
+	src := rng.New(3)
+	before := Jellyfish(20, 12, 6, src)
+	after := before.Clone()
+	ExpandJellyfish(after, 1, 12, 6, src.Split("grow"))
+
+	plan := PlanRewiring(before, after)
+	// One new switch with r=6: three splices = 3 removed, 6 added cables.
+	if len(plan.Add) < 4 || len(plan.Add) > 6 {
+		t.Fatalf("added cables = %d, want 4-6", len(plan.Add))
+	}
+	if len(plan.Remove)*2 != len(plan.Add) {
+		t.Fatalf("remove/add mismatch: %d removed, %d added", len(plan.Remove), len(plan.Add))
+	}
+	// Every added cable touches the new switch.
+	for _, e := range plan.Add {
+		if e.U != 20 && e.V != 20 {
+			t.Fatalf("added cable %v does not touch new switch", e)
+		}
+	}
+	if plan.Moves() != len(plan.Add)+len(plan.Remove) {
+		t.Fatal("Moves() wrong")
+	}
+}
+
+func TestPlanRewiringIdentical(t *testing.T) {
+	top := Jellyfish(15, 8, 4, rng.New(5))
+	plan := PlanRewiring(top, top)
+	if plan.Moves() != 0 {
+		t.Fatalf("self-diff has %d moves", plan.Moves())
+	}
+}
+
+// §4.2's promise: expansion rewiring is limited to the ports being added.
+func TestExpansionRewiringBounded(t *testing.T) {
+	src := rng.New(7)
+	before := Jellyfish(50, 24, 12, src)
+	after := before.Clone()
+	const added = 5
+	ExpandJellyfish(after, added, 24, 12, src.Split("grow"))
+	plan := PlanRewiring(before, after)
+	// Each new switch adds ≤ r cables and removes ≤ r/2.
+	if len(plan.Add) > added*12 {
+		t.Fatalf("added %d cables for %d switches of degree 12", len(plan.Add), added)
+	}
+	if len(plan.Remove) > added*6 {
+		t.Fatalf("removed %d cables, want ≤ %d", len(plan.Remove), added*6)
+	}
+}

@@ -1,0 +1,214 @@
+package topology
+
+import (
+	"fmt"
+
+	"jellyfish/internal/graph"
+	"jellyfish/internal/rng"
+)
+
+// The Small-World Datacenter (SWDC) topologies of Shin, Wong & Sirer [41]
+// combine a regular lattice with random shortcut links. The Jellyfish paper
+// compares against the three degree-6 variants (§4.1, Fig. 4), emulating
+// SWDC's 6-interface servers with 1-server switches of 7 ports. We
+// reproduce the lattice structure and fill remaining ports with uniform
+// random shortcuts wired by the same free-port matching as Jellyfish.
+
+// SWDCRing builds the ring-lattice SWDC: each of n switches links to its 2
+// ring neighbors, with degree-2 lattice plus (degree-2) random shortcuts.
+func SWDCRing(n, degree, serversPerSwitch int, src *rng.Source) *Topology {
+	if degree < 2 {
+		panic("topology: SWDC ring needs degree >= 2")
+	}
+	t := newSWDC("swdc-ring", n, degree, serversPerSwitch)
+	for i := 0; i < n; i++ {
+		t.Graph.AddEdge(i, (i+1)%n)
+	}
+	fillRandomShortcuts(t, degree, src)
+	return t
+}
+
+// SWDC2DTorus builds the 2D-torus SWDC on an a×b grid (n = a·b, with a, b
+// as square as possible): 4 lattice links per switch plus (degree-4)
+// random shortcuts.
+func SWDC2DTorus(n, degree, serversPerSwitch int, src *rng.Source) *Topology {
+	if degree < 4 {
+		panic("topology: SWDC 2D torus needs degree >= 4")
+	}
+	a, b := squarestFactors(n)
+	if a < 3 || b < 3 {
+		panic(fmt.Sprintf("topology: n=%d has no torus-compatible factorization", n))
+	}
+	t := newSWDC("swdc-2dtorus", n, degree, serversPerSwitch)
+	id := func(x, y int) int { return x*b + y }
+	for x := 0; x < a; x++ {
+		for y := 0; y < b; y++ {
+			t.Graph.AddEdge(id(x, y), id((x+1)%a, y))
+			t.Graph.AddEdge(id(x, y), id(x, (y+1)%b))
+		}
+	}
+	fillRandomShortcuts(t, degree, src)
+	return t
+}
+
+// SWDC3DHexTorus builds the 3D hexagonal-torus SWDC: switches are arranged
+// in z stacked planes, each plane a brick-wall (honeycomb) torus in which
+// every switch has 3 in-plane neighbors; ±z wrap links add 2 more, for 5
+// lattice links per switch, plus (degree-5) random shortcuts. n must
+// factor as a×b×z with a even and a,b ≥ 2, z ≥ 3 (z=1 and z=2 would
+// collapse the vertical links).
+func SWDC3DHexTorus(n, degree, serversPerSwitch int, src *rng.Source) *Topology {
+	if degree < 5 {
+		panic("topology: SWDC 3D hex torus needs degree >= 5")
+	}
+	a, b, z := hexFactors(n)
+	if a == 0 {
+		panic(fmt.Sprintf("topology: n=%d has no hex-torus-compatible factorization", n))
+	}
+	t := newSWDC("swdc-3dhextorus", n, degree, serversPerSwitch)
+	id := func(x, y, l int) int { return (x*b+y)*z + l }
+	for x := 0; x < a; x++ {
+		for y := 0; y < b; y++ {
+			for l := 0; l < z; l++ {
+				u := id(x, y, l)
+				// Brick-wall plane: every switch links east-west; alternate
+				// columns link north, giving 3 in-plane neighbors each.
+				t.Graph.AddEdge(u, id((x+1)%a, y, l))
+				if x%2 == 0 {
+					t.Graph.AddEdge(u, id(x, (y+1)%b, l))
+				}
+				// Vertical ±z wrap links.
+				t.Graph.AddEdge(u, id(x, y, (l+1)%z))
+			}
+		}
+	}
+	fillRandomShortcuts(t, degree, src)
+	return t
+}
+
+func newSWDC(name string, n, degree, serversPerSwitch int) *Topology {
+	t := &Topology{
+		Name:    fmt.Sprintf("%s(n=%d,deg=%d)", name, n, degree),
+		Graph:   graph.New(n),
+		Ports:   make([]int, n),
+		Servers: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Ports[i] = degree + serversPerSwitch
+		t.Servers[i] = serversPerSwitch
+	}
+	return t
+}
+
+// fillRandomShortcuts wires remaining network ports (up to degree) with
+// small-world shortcuts: endpoint pairs are drawn with probability
+// proportional to 1/d where d is the lattice distance (Kleinberg's
+// harmonic distribution, the defining ingredient of SWDC [41]). This bias
+// toward nearby nodes is what distinguishes SWDC from Jellyfish's uniform
+// random graph — and what costs it capacity (Fig. 4).
+func fillRandomShortcuts(t *Topology, degree int, src *rng.Source) {
+	g := t.Graph
+	n := g.N()
+	// Lattice distances, computed before any shortcut exists.
+	dist := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist[v] = g.BFS(v)
+	}
+	free := func(u int) int { return degree - g.Degree(u) }
+
+	candidates := make([]int, 0, n)
+	weights := make([]float64, 0, n)
+	stall := 0
+	for stall < 4*n {
+		// Pick a switch with free ports uniformly.
+		candidates = candidates[:0]
+		for u := 0; u < n; u++ {
+			if free(u) > 0 {
+				candidates = append(candidates, u)
+			}
+		}
+		if len(candidates) < 2 {
+			break
+		}
+		u := candidates[src.Intn(len(candidates))]
+		// Weight the other endpoints harmonically by lattice distance.
+		candidates = candidates[:0]
+		weights = weights[:0]
+		var totalW float64
+		for v := 0; v < n; v++ {
+			if v == u || free(v) <= 0 || g.HasEdge(u, v) || dist[u][v] <= 0 {
+				continue
+			}
+			w := 1 / float64(dist[u][v])
+			candidates = append(candidates, v)
+			weights = append(weights, w)
+			totalW += w
+		}
+		if len(candidates) == 0 {
+			stall++
+			continue
+		}
+		x := src.Float64() * totalW
+		v := candidates[len(candidates)-1]
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				v = candidates[i]
+				break
+			}
+		}
+		g.AddEdge(u, v)
+		stall = 0
+	}
+}
+
+// squarestFactors returns the factor pair (a,b) of n with a ≤ b and a as
+// large as possible (most square), or (1,n) for primes.
+func squarestFactors(n int) (int, int) {
+	a := 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			a = d
+		}
+	}
+	return a, n / a
+}
+
+// hexFactors finds (a,b,z) with a·b·z = n, a even, a,b ≥ 2, z ≥ 3,
+// preferring balanced dimensions. Returns zeros if impossible.
+func hexFactors(n int) (int, int, int) {
+	best := [3]int{}
+	bestScore := -1
+	for z := 3; z <= n/4; z++ {
+		if n%z != 0 {
+			continue
+		}
+		plane := n / z
+		for a := 2; a*a <= plane || a <= plane/2; a += 2 {
+			if plane%a != 0 {
+				continue
+			}
+			b := plane / a
+			if b < 2 {
+				break
+			}
+			score := min3(a, b, z)
+			if score > bestScore {
+				bestScore = score
+				best = [3]int{a, b, z}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+func min3(a, b, c int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

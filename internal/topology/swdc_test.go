@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"testing"
+
+	"jellyfish/internal/rng"
+)
+
+func TestSWDCRingShape(t *testing.T) {
+	top := SWDCRing(100, 6, 1, rng.New(1))
+	if top.NumSwitches() != 100 || top.NumServers() != 100 {
+		t.Fatalf("got %d switches, %d servers", top.NumSwitches(), top.NumServers())
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Ring lattice present.
+	for i := 0; i < 100; i++ {
+		if !top.Graph.HasEdge(i, (i+1)%100) {
+			t.Fatalf("missing ring edge %d-%d", i, (i+1)%100)
+		}
+	}
+	if !top.Graph.Connected() {
+		t.Fatal("ring SWDC disconnected")
+	}
+	// Degree-6 regular up to one odd port.
+	deficit := 0
+	for i := 0; i < 100; i++ {
+		deficit += 6 - top.Graph.Degree(i)
+	}
+	if deficit > 1 {
+		t.Fatalf("degree deficit = %d, want <= 1", deficit)
+	}
+}
+
+func TestSWDC2DTorusShape(t *testing.T) {
+	top := SWDC2DTorus(100, 6, 1, rng.New(2)) // 10x10 grid
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each switch has 4 torus links; verify switch 0's lattice links exist.
+	g := top.Graph
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 9) || !g.HasEdge(0, 10) || !g.HasEdge(0, 90) {
+		t.Fatalf("switch 0 lattice links missing: neighbors %v", g.Neighbors(0))
+	}
+	if !g.Connected() {
+		t.Fatal("2D torus SWDC disconnected")
+	}
+	if g.MinDegree() < 5 {
+		t.Fatalf("min degree = %d, want >= 5", g.MinDegree())
+	}
+}
+
+func TestSWDC3DHexTorusShape(t *testing.T) {
+	// 450 nodes: the paper's exact size for this variant.
+	top := SWDC3DHexTorus(450, 6, 1, rng.New(3))
+	if top.NumSwitches() != 450 {
+		t.Fatalf("switches = %d, want 450", top.NumSwitches())
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !top.Graph.Connected() {
+		t.Fatal("hex torus SWDC disconnected")
+	}
+	// Lattice contributes 5 links per switch; shortcuts fill to 6 (±1 odd).
+	if top.Graph.MinDegree() < 5 {
+		t.Fatalf("min degree = %d, want >= 5", top.Graph.MinDegree())
+	}
+	if top.Graph.MaxDegree() > 6 {
+		t.Fatalf("max degree = %d, want <= 6", top.Graph.MaxDegree())
+	}
+}
+
+func TestSWDCOversubscribed(t *testing.T) {
+	// Fig. 4 attaches 2 servers per switch.
+	top := SWDCRing(484, 6, 2, rng.New(4))
+	if top.NumServers() != 968 {
+		t.Fatalf("servers = %d, want 968", top.NumServers())
+	}
+}
+
+func TestSWDCPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ring-deg1":  func() { SWDCRing(10, 1, 1, rng.New(1)) },
+		"torus-deg3": func() { SWDC2DTorus(16, 3, 1, rng.New(1)) },
+		"hex-deg4":   func() { SWDC3DHexTorus(48, 4, 1, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSquarestFactors(t *testing.T) {
+	for _, tc := range []struct{ n, a, b int }{
+		{100, 10, 10}, {484, 22, 22}, {12, 3, 4}, {7, 1, 7},
+	} {
+		a, b := squarestFactors(tc.n)
+		if a != tc.a || b != tc.b {
+			t.Errorf("squarestFactors(%d) = %d,%d, want %d,%d", tc.n, a, b, tc.a, tc.b)
+		}
+	}
+}
+
+func TestHexFactors(t *testing.T) {
+	a, b, z := hexFactors(450)
+	if a == 0 || a*b*z != 450 || a%2 != 0 || z < 3 {
+		t.Fatalf("hexFactors(450) = %d,%d,%d", a, b, z)
+	}
+}
+
+// Fig. 4's headline: Jellyfish beats all three SWDC variants at equal
+// equipment. Verify the path-length mechanism behind it at reduced size:
+// jellyfish mean path must be below every SWDC lattice variant.
+func TestJellyfishBeatsSWDCOnPathLength(t *testing.T) {
+	n, deg := 100, 6
+	jf := Jellyfish(n, deg+1, deg, rng.New(9))
+	ring := SWDCRing(n, deg, 1, rng.New(9))
+	torus := SWDC2DTorus(n, deg, 1, rng.New(9))
+	jm := jf.Graph.AllPairsStats().Mean
+	for _, other := range []*Topology{ring, torus} {
+		om := other.Graph.AllPairsStats().Mean
+		if jm >= om {
+			t.Fatalf("jellyfish mean %v not below %s mean %v", jm, other.Name, om)
+		}
+	}
+}

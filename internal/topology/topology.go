@@ -1,0 +1,123 @@
+// Package topology builds every network topology evaluated in the Jellyfish
+// paper: the Jellyfish random regular graph itself (with from-scratch,
+// incremental, and heterogeneous construction), the 3-level fat-tree it is
+// compared against, the Small-World Datacenter family, and degree-diameter
+// benchmark graphs.
+package topology
+
+import (
+	"fmt"
+
+	"jellyfish/internal/graph"
+)
+
+// A Topology is a switch-level interconnect: a graph over top-of-rack
+// switches, plus per-switch port budgets and attached server counts.
+// Link capacities are uniform (one server-NIC rate per direction).
+type Topology struct {
+	Name    string
+	Graph   *graph.Graph
+	Ports   []int // Ports[i]: total ports on switch i
+	Servers []int // Servers[i]: servers attached to switch i
+}
+
+// NumSwitches returns the number of switches.
+func (t *Topology) NumSwitches() int { return t.Graph.N() }
+
+// NumServers returns the total number of attached servers.
+func (t *Topology) NumServers() int {
+	total := 0
+	for _, s := range t.Servers {
+		total += s
+	}
+	return total
+}
+
+// NumLinks returns the number of switch-switch cables.
+func (t *Topology) NumLinks() int { return t.Graph.M() }
+
+// TotalPorts returns the equipment cost measure used throughout the paper:
+// the total number of switch ports purchased.
+func (t *Topology) TotalPorts() int {
+	total := 0
+	for _, p := range t.Ports {
+		total += p
+	}
+	return total
+}
+
+// FreePorts returns the number of unused ports on switch i.
+func (t *Topology) FreePorts(i int) int {
+	return t.Ports[i] - t.Servers[i] - t.Graph.Degree(i)
+}
+
+// TotalFreePorts sums free ports across all switches.
+func (t *Topology) TotalFreePorts() int {
+	total := 0
+	for i := range t.Ports {
+		total += t.FreePorts(i)
+	}
+	return total
+}
+
+// Validate checks internal consistency: no switch exceeds its port budget
+// and all slices are the same length.
+func (t *Topology) Validate() error {
+	n := t.Graph.N()
+	if len(t.Ports) != n || len(t.Servers) != n {
+		return fmt.Errorf("topology %q: %d switches but %d port entries, %d server entries",
+			t.Name, n, len(t.Ports), len(t.Servers))
+	}
+	for i := 0; i < n; i++ {
+		if t.Servers[i] < 0 {
+			return fmt.Errorf("topology %q: switch %d has negative servers", t.Name, i)
+		}
+		if used := t.Servers[i] + t.Graph.Degree(i); used > t.Ports[i] {
+			return fmt.Errorf("topology %q: switch %d uses %d ports, budget %d",
+				t.Name, i, used, t.Ports[i])
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *Topology) Clone() *Topology {
+	return &Topology{
+		Name:    t.Name,
+		Graph:   t.Graph.Clone(),
+		Ports:   append([]int(nil), t.Ports...),
+		Servers: append([]int(nil), t.Servers...),
+	}
+}
+
+// ServerSwitches returns a slice with one entry per server giving the
+// switch it attaches to, in switch order. This is the canonical server ID
+// assignment used by the traffic generators.
+func (t *Topology) ServerSwitches() []int {
+	out := make([]int, 0, t.NumServers())
+	for sw, count := range t.Servers {
+		for j := 0; j < count; j++ {
+			out = append(out, sw)
+		}
+	}
+	return out
+}
+
+// SwitchPathStats computes shortest-path statistics between switches that
+// have at least one server attached (the paper's inter-switch path length
+// metric counts ToR-to-ToR hops).
+func (t *Topology) SwitchPathStats() graph.PathStats {
+	var withServers []int
+	for sw, count := range t.Servers {
+		if count > 0 {
+			withServers = append(withServers, sw)
+		}
+	}
+	return t.Graph.PairsStats(withServers)
+}
+
+// String summarizes the topology.
+func (t *Topology) String() string {
+	return fmt.Sprintf("%s{switches=%d servers=%d links=%d ports=%d}",
+		t.Name, t.NumSwitches(), t.NumServers(), t.NumLinks(), t.TotalPorts())
+}

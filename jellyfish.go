@@ -1,0 +1,183 @@
+// Package jellyfish is a from-scratch Go implementation of the Jellyfish
+// data-center interconnect (Singla, Hong, Popa & Godfrey, "Jellyfish:
+// Networking Data Centers Randomly", NSDI 2012) together with everything
+// needed to evaluate it: the fat-tree and Small-World-Datacenter comparison
+// topologies, degree-diameter benchmark graphs, optimal-routing throughput
+// via maximum concurrent flow, ECMP and k-shortest-path route tables, a
+// flow-level TCP/MPTCP simulator, bisection-bandwidth analysis, budgeted
+// incremental-expansion arcs, and physical layout / cabling models.
+//
+// # Quick start
+//
+//	net := jellyfish.New(jellyfish.Config{Switches: 100, Ports: 24, NetworkDegree: 12, Seed: 1})
+//	fmt.Println(net.NumServers())            // 1200
+//	stats := net.PathStats()                 // switch-to-switch path lengths
+//	lambda := jellyfish.OptimalThroughput(net, 1) // normalized throughput ∈ [0,1]
+//
+// The topology object returned everywhere is *Topology (an alias of the
+// internal representation); it exposes the switch graph, per-switch port
+// budgets and server counts, and is accepted by every evaluator in this
+// package.
+package jellyfish
+
+import (
+	"fmt"
+
+	"jellyfish/internal/graph"
+	"jellyfish/internal/mcf"
+	"jellyfish/internal/metrics"
+	"jellyfish/internal/rng"
+	"jellyfish/internal/topology"
+	"jellyfish/internal/traffic"
+)
+
+// Topology is a switch-level interconnect with attached servers.
+type Topology = topology.Topology
+
+// Graph is the undirected switch graph underlying a Topology.
+type Graph = graph.Graph
+
+// PathStats summarizes shortest-path structure (mean, diameter, histogram).
+type PathStats = graph.PathStats
+
+// Config describes a homogeneous Jellyfish network RRG(Switches, Ports,
+// NetworkDegree): every switch has Ports ports, NetworkDegree of which
+// connect to other switches and the rest to servers.
+type Config struct {
+	Switches      int
+	Ports         int
+	NetworkDegree int
+	Seed          uint64
+}
+
+// New constructs a Jellyfish topology using the paper's randomized
+// procedure (§3). It panics on infeasible parameters (NetworkDegree >
+// Ports or NetworkDegree >= Switches).
+func New(cfg Config) *Topology {
+	return topology.Jellyfish(cfg.Switches, cfg.Ports, cfg.NetworkDegree, rng.New(cfg.Seed))
+}
+
+// NewHeterogeneous constructs a Jellyfish from a mixed switch inventory:
+// switch i has ports[i] ports and attaches servers[i] servers; all
+// remaining ports become random network links.
+func NewHeterogeneous(ports, servers []int, seed uint64) *Topology {
+	return topology.JellyfishHeterogeneous(ports, servers, rng.New(seed))
+}
+
+// NewFatTree constructs the 3-level k-ary fat-tree of Al-Fares et al.
+// (k even): k³/4 servers on 5k²/4 k-port switches.
+func NewFatTree(k int) *Topology { return topology.FatTree(k) }
+
+// Expand grows a Jellyfish in place by newSwitches switches with the given
+// port split, using the paper's incremental procedure (§4.2): random link
+// splices only, rewiring proportional to the ports added.
+func Expand(t *Topology, newSwitches, ports, networkDegree int, seed uint64) *Topology {
+	return topology.ExpandJellyfish(t, newSwitches, ports, networkDegree, rng.New(seed))
+}
+
+// ExpandSwitchOnly grows network capacity without adding servers.
+func ExpandSwitchOnly(t *Topology, newSwitches, ports int, seed uint64) *Topology {
+	return topology.ExpandJellyfishSwitchOnly(t, newSwitches, ports, rng.New(seed))
+}
+
+// FailRandomLinks removes a uniform-random fraction of switch-switch links
+// in place, returning how many were removed.
+func FailRandomLinks(t *Topology, fraction float64, seed uint64) int {
+	return topology.RemoveRandomLinks(t, fraction, rng.New(seed))
+}
+
+// FailRandomSwitches fails a uniform-random fraction of whole switches in
+// place (links removed, servers dropped), returning the failed switch IDs.
+func FailRandomSwitches(t *Topology, fraction float64, seed uint64) []int {
+	return topology.FailRandomSwitches(t, fraction, rng.New(seed))
+}
+
+// OptimalThroughput evaluates the topology under random-permutation
+// traffic with optimal (fluid, splittable) routing — the paper's §4
+// methodology — and returns the normalized per-server throughput in [0,1]:
+// the largest fraction of every server's NIC rate that can be delivered
+// simultaneously, capped at 1.
+func OptimalThroughput(t *Topology, seed uint64) float64 {
+	src := rng.New(seed)
+	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
+	res := mcf.MaxConcurrentFlow(t.Graph, pat.Commodities(), mcf.Options{})
+	return metrics.Clamp01(res.Lambda)
+}
+
+// SupportsFullThroughput reports whether the topology can serve trials
+// independent random-permutation matrices at full NIC rate for every
+// server — the paper's "full capacity" test. slack absorbs the
+// approximation tolerance of the flow solver (0.03 is a good default).
+func SupportsFullThroughput(t *Topology, trials int, slack float64, seed uint64) bool {
+	src := rng.New(seed)
+	for i := 0; i < trials; i++ {
+		pat := traffic.RandomPermutation(t.ServerSwitches(), src.SplitN("traffic", i))
+		if !mcf.FeasibleAtFull(t.Graph, pat.Commodities(), mcf.Options{}, slack) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxServersAtFullThroughput binary-searches the largest server count a
+// Jellyfish built from `switches` k-port switches can support at full
+// capacity under random-permutation traffic (checked on `trials`
+// matrices), reproducing the paper's Fig. 2(c) methodology. Servers are
+// spread as evenly as possible across switches.
+func MaxServersAtFullThroughput(switches, ports, trials int, seed uint64) int {
+	lo, hi := switches, switches*(ports-1)
+	// Find an infeasible upper bound first.
+	for hi > lo {
+		if !buildAndCheck(switches, ports, hi, trials, seed) {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if buildAndCheck(switches, ports, mid, trials, seed) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SpreadServers builds a Jellyfish with exactly `servers` servers spread
+// evenly over `switches` k-port switches (the construction used by the
+// capacity searches).
+func SpreadServers(switches, ports, servers int, seed uint64) *Topology {
+	if servers > switches*(ports-1) {
+		panic(fmt.Sprintf("jellyfish: %d servers exceed capacity of %d %d-port switches",
+			servers, switches, ports))
+	}
+	portsPer := make([]int, switches)
+	serversPer := make([]int, switches)
+	base := servers / switches
+	extra := servers % switches
+	for i := range portsPer {
+		portsPer[i] = ports
+		serversPer[i] = base
+		if i < extra {
+			serversPer[i]++
+		}
+	}
+	return topology.JellyfishHeterogeneous(portsPer, serversPer, rng.New(seed))
+}
+
+func buildAndCheck(switches, ports, servers, trials int, seed uint64) bool {
+	if servers > switches*(ports-1) {
+		return false
+	}
+	t := SpreadServers(switches, ports, servers, seed)
+	return SupportsFullThroughput(t, trials, 0.03, seed+0x5f5e100)
+}
+
+// MeanPathLength returns the mean inter-switch shortest path length over
+// switches that host servers.
+func MeanPathLength(t *Topology) float64 { return t.SwitchPathStats().Mean }
+
+// Diameter returns the switch-graph diameter.
+func Diameter(t *Topology) int { return t.Graph.Diameter() }

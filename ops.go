@@ -1,0 +1,68 @@
+package jellyfish
+
+import (
+	"io"
+
+	"jellyfish/internal/graph"
+	"jellyfish/internal/maxflow"
+	"jellyfish/internal/placement"
+	"jellyfish/internal/rng"
+	"jellyfish/internal/topology"
+)
+
+// Operational tooling: blueprints, rewiring plans, miswiring handling, and
+// structural health checks — the §6 deployment story as an API.
+
+// Edge is an undirected switch-switch cable (U < V).
+type Edge = graph.Edge
+
+// WriteBlueprint serializes the topology's construction blueprint (JSON):
+// per-switch port budgets, server counts, and the cable list handed to the
+// cabling crew.
+func WriteBlueprint(t *Topology, w io.Writer) error { return t.WriteBlueprint(w) }
+
+// ReadBlueprint loads a topology from a blueprint, validating port budgets
+// and graph simplicity.
+func ReadBlueprint(r io.Reader) (*Topology, error) { return topology.ReadBlueprint(r) }
+
+// RewirePlan lists cable operations turning one topology into another.
+type RewirePlan = topology.RewirePlan
+
+// PlanRewiring diffs two topologies' cable sets — the §4.2/§6.2 promise
+// that expansion rewiring "can be automatically identified".
+func PlanRewiring(before, after *Topology) RewirePlan {
+	return topology.PlanRewiring(before, after)
+}
+
+// Miswiring is one blueprint/as-built divergence.
+type Miswiring = placement.Miswiring
+
+// SimulateMiswirings applies `count` random cable-endpoint swaps in place
+// (a careless cabling crew), returning how many were applied.
+func SimulateMiswirings(t *Topology, count int, seed uint64) int {
+	return placement.ApplyRandomMiswirings(t, count, rng.New(seed))
+}
+
+// DetectMiswirings compares an as-built network against its blueprint, as
+// a link-layer discovery sweep would (§6.1).
+func DetectMiswirings(blueprint, built *Topology) []Miswiring {
+	return placement.DetectMiswirings(blueprint, built)
+}
+
+// EdgeConnectivity returns the minimum number of link failures that can
+// disconnect the network. For Jellyfish this is almost surely the network
+// degree r (§4.3).
+func EdgeConnectivity(t *Topology) int { return maxflow.EdgeConnectivity(t.Graph) }
+
+// ExpansionQuality reports the second adjacency eigenvalue of an r-regular
+// topology together with the Ramanujan optimum 2√(r−1): the closer the
+// two, the better an expander — and the better the capacity — the graph
+// is. Panics if the switch graph is not r-regular.
+func ExpansionQuality(t *Topology, r int) (lambda2, optimum float64) {
+	return t.Graph.SecondEigenvalue(r, 0), graph.RamanujanBound(r)
+}
+
+// CriticalLinks returns the cables whose single failure would disconnect
+// some pair of switches. A healthy Jellyfish has none (it is r-connected);
+// after heavy failures this is the repair-priority list.
+func CriticalLinks(t *Topology) []Edge { return t.Graph.Bridges() }

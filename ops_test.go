@@ -1,0 +1,92 @@
+package jellyfish
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBlueprintRoundTripPublic(t *testing.T) {
+	net := New(Config{Switches: 25, Ports: 10, NetworkDegree: 6, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteBlueprint(net, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBlueprint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumServers() != net.NumServers() || got.NumLinks() != net.NumLinks() {
+		t.Fatalf("round trip changed topology: %s vs %s", got, net)
+	}
+}
+
+func TestPlanRewiringPublic(t *testing.T) {
+	net := New(Config{Switches: 20, Ports: 12, NetworkDegree: 6, Seed: 2})
+	grown := net.Clone()
+	Expand(grown, 2, 12, 6, 3)
+	plan := PlanRewiring(net, grown)
+	if plan.Moves() == 0 {
+		t.Fatal("expansion produced no cable moves")
+	}
+	// Rewiring must be bounded by the added ports (§4.2).
+	if len(plan.Add) > 2*6 {
+		t.Fatalf("added %d cables for 2 switches of degree 6", len(plan.Add))
+	}
+}
+
+func TestMiswiringWorkflow(t *testing.T) {
+	blueprint := New(Config{Switches: 40, Ports: 10, NetworkDegree: 6, Seed: 4})
+	built := blueprint.Clone()
+	n := SimulateMiswirings(built, 3, 5)
+	if n != 3 {
+		t.Fatalf("applied %d miswirings, want 3", n)
+	}
+	found := DetectMiswirings(blueprint, built)
+	if len(found) != 6 {
+		t.Fatalf("detected %d divergences for 3 swaps, want 6", len(found))
+	}
+	// §6.1: a few miswirings leave just another random graph — validate it
+	// still carries traffic at essentially the same rate.
+	orig := OptimalThroughput(blueprint, 6)
+	after := OptimalThroughput(built, 6)
+	if after < orig*0.95 {
+		t.Fatalf("3 miswirings cost too much throughput: %v -> %v", orig, after)
+	}
+}
+
+func TestEdgeConnectivityPublic(t *testing.T) {
+	net := New(Config{Switches: 30, Ports: 10, NetworkDegree: 6, Seed: 7})
+	if c := EdgeConnectivity(net); c != 6 {
+		t.Fatalf("edge connectivity = %d, want 6 (r-connected, §4.3)", c)
+	}
+}
+
+func TestExpansionQuality(t *testing.T) {
+	// Jellyfish graphs are near-Ramanujan expanders — the structural fact
+	// behind the paper's bandwidth results (§3 footnote 5).
+	net := New(Config{Switches: 100, Ports: 9, NetworkDegree: 8, Seed: 8})
+	lambda2, opt := ExpansionQuality(net, 8)
+	if lambda2 > opt*1.25 {
+		t.Fatalf("lambda2 = %v far above Ramanujan bound %v", lambda2, opt)
+	}
+	if lambda2 <= 0 {
+		t.Fatalf("lambda2 = %v", lambda2)
+	}
+}
+
+func TestCriticalLinks(t *testing.T) {
+	net := New(Config{Switches: 30, Ports: 10, NetworkDegree: 6, Seed: 9})
+	if bs := CriticalLinks(net); len(bs) != 0 {
+		t.Fatalf("healthy jellyfish has critical links: %v", bs)
+	}
+	// Degrade until bridges appear; they must be real cut edges.
+	FailRandomLinks(net, 0.6, 10)
+	for _, b := range CriticalLinks(net) {
+		comps := len(net.Graph.Components())
+		net.Graph.RemoveEdge(b.U, b.V)
+		if len(net.Graph.Components()) <= comps {
+			t.Fatalf("reported critical link %v is not a cut edge", b)
+		}
+		net.Graph.AddEdge(b.U, b.V)
+	}
+}
