@@ -58,11 +58,13 @@ type PacketLevelResult struct {
 
 // PacketLevelThroughput runs the flow-level transport simulator (the
 // paper's §5 methodology, flow-level substitution per DESIGN.md §8) with
-// the given routing scheme and transport on one random permutation.
-func PacketLevelThroughput(t *Topology, scheme RoutingScheme, proto TransportProtocol, seed uint64) PacketLevelResult {
+// the given routing scheme and transport on one random permutation. The
+// optional trailing argument bounds route-construction parallelism
+// (default: all cores); the result is identical either way.
+func PacketLevelThroughput(t *Topology, scheme RoutingScheme, proto TransportProtocol, seed uint64, workers ...int) PacketLevelResult {
 	src := rng.New(seed)
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
-	table := buildTable(t, pat, scheme, src.Split("routes"))
+	table := buildTable(t, pat, scheme, src.Split("routes"), firstOrZero(workers))
 	res := flowsim.Simulate(pat.Flows, table, proto, src.Split("sim"))
 	return PacketLevelResult{
 		MeanThroughput:  res.Mean(),
@@ -71,7 +73,7 @@ func PacketLevelThroughput(t *Topology, scheme RoutingScheme, proto TransportPro
 	}
 }
 
-func buildTable(t *Topology, pat *traffic.Pattern, scheme RoutingScheme, src *rng.Source) *routing.Table {
+func buildTable(t *Topology, pat *traffic.Pattern, scheme RoutingScheme, src *rng.Source, workers int) *routing.Table {
 	var sd [][2]int
 	for _, f := range pat.Flows {
 		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
@@ -79,21 +81,30 @@ func buildTable(t *Topology, pat *traffic.Pattern, scheme RoutingScheme, src *rn
 	pairs := routing.PairsForCommodities(sd)
 	switch scheme {
 	case ECMP64:
-		return routing.ECMP(t.Graph, pairs, 64, src)
+		return routing.ECMP(t.Graph, pairs, 64, src, workers)
 	case KSP8:
-		return routing.KShortest(t.Graph, pairs, 8)
+		return routing.KShortest(t.Graph, pairs, 8, workers)
 	default:
-		return routing.ECMP(t.Graph, pairs, 8, src)
+		return routing.ECMP(t.Graph, pairs, 8, src, workers)
 	}
+}
+
+// firstOrZero unwraps an optional trailing workers argument (0 = all
+// cores).
+func firstOrZero(workers []int) int {
+	if len(workers) > 0 {
+		return workers[0]
+	}
+	return 0
 }
 
 // LinkPathCounts returns, for each directed switch-switch link, the number
 // of distinct routing paths crossing it under the given scheme and one
 // random permutation's route table — sorted ascending (Fig. 9's series).
-func LinkPathCounts(t *Topology, scheme RoutingScheme, seed uint64) []int {
+func LinkPathCounts(t *Topology, scheme RoutingScheme, seed uint64, workers ...int) []int {
 	src := rng.New(seed)
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
-	table := buildTable(t, pat, scheme, src.Split("routes"))
+	table := buildTable(t, pat, scheme, src.Split("routes"), firstOrZero(workers))
 	return routing.RankedLinkLoads(t.Graph, table)
 }
 

@@ -3,9 +3,9 @@ package jellyfish
 // One benchmark per paper table/figure. Each bench runs the corresponding
 // experiment from internal/experiments at reduced (Quick) scale so the full
 // suite completes in minutes; the paper-scale sweeps are produced by
-// `go run ./cmd/experiments <id>` and recorded in EXPERIMENTS.md. Custom
-// metrics expose each experiment's headline number so regressions in the
-// reproduced result (not just its runtime) are visible.
+// `go run ./cmd/experiments <id>`. Custom metrics expose each experiment's
+// headline number so regressions in the reproduced result (not just its
+// runtime) are visible.
 
 import (
 	"strconv"
@@ -109,6 +109,49 @@ func BenchmarkFig13Fairness(b *testing.B) {
 
 func BenchmarkFig14Locality(b *testing.B) {
 	benchExperiment(b, "fig14", "norm_throughput", 3)
+}
+
+// ---- parallel-evaluation benchmarks ----
+//
+// The same experiment bundle at Workers=1 (serial) and Workers=0 (all
+// cores) measures the speedup of the internal/parallel fan-out; on a
+// 4+-core machine the parallel variant should be ≥3× faster. Compare with:
+//
+//	go test -bench 'BenchmarkExperimentSuite' -benchtime 1x
+//
+// Outputs are bit-identical across worker counts (see
+// internal/experiments/determinism_test.go), so this is purely wall-clock.
+
+// suiteIDs spans all three concurrent layers: MCF trials (fig6), the
+// sim+routing stack (fig10, table1), and route-table fan-out (fig9).
+var suiteIDs = []string{"fig6", "fig9", "fig10", "table1", "ablation-hotspot"}
+
+func benchExperimentSuite(b *testing.B, workers int) {
+	opt := experiments.Options{Seed: 1, Quick: true, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		for _, id := range suiteIDs {
+			experiments.Lookup(id)(opt)
+		}
+	}
+}
+
+func BenchmarkExperimentSuiteSerial(b *testing.B)   { benchExperimentSuite(b, 1) }
+func BenchmarkExperimentSuiteParallel(b *testing.B) { benchExperimentSuite(b, 0) }
+
+func BenchmarkOptimalThroughputSerial(b *testing.B) {
+	net := New(Config{Switches: 60, Ports: 12, NetworkDegree: 9, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimalThroughput(net, uint64(i), 1)
+	}
+}
+
+func BenchmarkOptimalThroughputParallel(b *testing.B) {
+	net := New(Config{Switches: 60, Ports: 12, NetworkDegree: 9, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimalThroughput(net, uint64(i), 0)
+	}
 }
 
 // ---- micro-benchmarks on the core primitives ----

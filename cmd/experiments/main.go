@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-trials N] [fig2c table1 ... | all]
+//	experiments [-quick] [-seed N] [-trials N] [-workers N] [fig2c table1 ... | all]
 //
 // Full-scale runs use the paper's sizes and can take minutes per figure;
-// -quick trims every sweep to seconds. See EXPERIMENTS.md for recorded
-// paper-vs-measured outcomes.
+// -quick trims every sweep to seconds, and -workers fans independent
+// trials and sweep points out over CPU cores (0 = all cores; output is
+// bit-identical for every worker count).
 package main
 
 import (
@@ -24,9 +25,10 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size sweeps (seconds instead of minutes)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	trials := flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+	workers := flag.Int("workers", 0, "CPU parallelism (0 = all cores, 1 = serial; same output either way)")
 	flag.Parse()
 
-	opt := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+	opt := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
 
 	args := flag.Args()
 	if len(args) == 0 {

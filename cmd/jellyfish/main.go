@@ -16,6 +16,8 @@
 //	-load FILE      load a JSON blueprint instead of generating
 //	-connectivity   report edge connectivity (min link failures to partition)
 //	-fattree K      build a k-ary fat-tree instead (other topo flags ignored)
+//	-workers N      CPU parallelism for evaluators (0 = all cores; results
+//	                are identical for every worker count)
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 	throughput := flag.Bool("throughput", false, "evaluate optimal-routing throughput")
 	packet := flag.Bool("packet", false, "evaluate flow-level (kSP-8 + MPTCP) throughput")
 	blueprint := flag.Bool("blueprint", false, "print the cabling blueprint (edge list)")
+	workers := flag.Int("workers", 0, "CPU parallelism for evaluators (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	var net *jellyfish.Topology
@@ -94,10 +97,10 @@ func main() {
 		fmt.Printf("blueprint saved: %s\n", *saveFile)
 	}
 	if *throughput {
-		fmt.Printf("optimal throughput:      %.4f of NIC rate\n", jellyfish.OptimalThroughput(net, *seed+2))
+		fmt.Printf("optimal throughput:      %.4f of NIC rate\n", jellyfish.OptimalThroughput(net, *seed+2, *workers))
 	}
 	if *packet {
-		res := jellyfish.PacketLevelThroughput(net, jellyfish.KSP8, jellyfish.MPTCP8Subflows, *seed+3)
+		res := jellyfish.PacketLevelThroughput(net, jellyfish.KSP8, jellyfish.MPTCP8Subflows, *seed+3, *workers)
 		fmt.Printf("packet-level throughput: %.4f of NIC rate (Jain fairness %.4f)\n",
 			res.MeanThroughput, res.Fairness)
 	}

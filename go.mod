@@ -1,0 +1,3 @@
+module jellyfish
+
+go 1.24

@@ -90,6 +90,9 @@ func TestLifecycleScenario(t *testing.T) {
 // one small configuration: same equipment as a fat-tree → shorter paths →
 // more servers at the same measured throughput.
 func TestEquipmentParityScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale scenario; run without -short to include it")
+	}
 	k := 10
 	ft := NewFatTree(k)
 	jf := SpreadServers(ft.NumSwitches(), k, ft.NumServers(), 200)

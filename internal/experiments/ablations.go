@@ -7,6 +7,7 @@ import (
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/metrics"
 	"jellyfish/internal/packetsim"
+	"jellyfish/internal/parallel"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/routing"
 	"jellyfish/internal/topology"
@@ -39,10 +40,15 @@ func AblationRoutingK(opt Options) *Table {
 		Title:   fmt.Sprintf("throughput vs k in k-shortest-path routing (MPTCP, %d servers)", top.NumServers()),
 		Columns: []string{"k", "throughput"},
 	}
-	for _, k := range []int{1, 2, 4, 8, 16} {
-		table := routing.KShortest(top.Graph, pairs, k)
-		tp := flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, src.SplitN("sim", k)).Mean()
-		t.AddRow(k, tp)
+	ks := []int{1, 2, 4, 8, 16}
+	w := opt.workers()
+	tps := parallel.Map(w, len(ks), func(i int) float64 {
+		k := ks[i]
+		table := routing.KShortest(top.Graph, pairs, k, w)
+		return flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, src.SplitN("sim", k)).Mean()
+	})
+	for i, k := range ks {
+		t.AddRow(k, tps[i])
 	}
 	t.Notes = append(t.Notes, "diminishing returns past k≈8 justify the paper's choice")
 	return t
@@ -62,14 +68,20 @@ func AblationOversubscription(opt Options) *Table {
 		Title:   fmt.Sprintf("throughput vs servers per switch (%d %d-port switches)", n, ports),
 		Columns: []string{"servers_per_switch", "servers", "net_degree", "throughput"},
 	}
+	var srvs []int
 	for srv := 1; srv <= ports-3; srv++ {
-		r := ports - srv
-		if r >= n {
-			continue
+		if ports-srv < n {
+			srvs = append(srvs, srv)
 		}
-		top := topology.Jellyfish(n, ports, r, src.SplitN("topo", srv))
-		tp := mcfThroughput(top, src.SplitN("traffic", srv))
-		t.AddRow(srv, n*srv, r, tp)
+	}
+	w := opt.workers()
+	tps := parallel.Map(w, len(srvs), func(i int) float64 {
+		srv := srvs[i]
+		top := topology.Jellyfish(n, ports, ports-srv, src.SplitN("topo", srv))
+		return mcfThroughput(top, src.SplitN("traffic", srv), 1)
+	})
+	for i, srv := range srvs {
+		t.AddRow(srv, n*srv, ports-srv, tps[i])
 	}
 	t.Notes = append(t.Notes, "a continuous design space: capacity trades smoothly against server count")
 	return t
@@ -90,7 +102,15 @@ func AblationHeterogeneousExpansion(opt Options) *Table {
 		Title:   "heterogeneous expansion: adding higher-port switches to a legacy fabric",
 		Columns: []string{"new_switches", "new_ports", "servers", "mean_path", "throughput"},
 	}
-	for _, newer := range []struct{ count, ports int }{{0, 0}, {10, 16}, {10, 24}, {20, 24}} {
+	configs := []struct{ count, ports int }{{0, 0}, {10, 16}, {10, 24}, {20, 24}}
+	w := opt.workers()
+	type hetRow struct {
+		servers  int
+		meanPath float64
+		tp       float64
+	}
+	rows := parallel.Map(w, len(configs), func(ci int) hetRow {
+		newer := configs[ci]
 		ports := make([]int, base+newer.count)
 		servers := make([]int, base+newer.count)
 		for i := 0; i < base; i++ {
@@ -100,8 +120,12 @@ func AblationHeterogeneousExpansion(opt Options) *Table {
 			ports[i], servers[i] = newer.ports, srv*2
 		}
 		top := topology.JellyfishHeterogeneous(ports, servers, src.SplitN(fmt.Sprintf("p%d", newer.ports), newer.count))
-		tp := mcfThroughput(top, src.SplitN(fmt.Sprintf("t%d", newer.ports), newer.count))
-		t.AddRow(newer.count, newer.ports, top.NumServers(), top.SwitchPathStats().Mean, tp)
+		tp := mcfThroughput(top, src.SplitN(fmt.Sprintf("t%d", newer.ports), newer.count), 1)
+		return hetRow{top.NumServers(), top.SwitchPathStats().Mean, tp}
+	})
+	for ci, newer := range configs {
+		r := rows[ci]
+		t.AddRow(newer.count, newer.ports, r.servers, r.meanPath, r.tp)
 	}
 	t.Notes = append(t.Notes, "newer high-port switches integrate without restructuring and add usable capacity")
 	return t
@@ -111,9 +135,9 @@ func AblationHeterogeneousExpansion(opt Options) *Table {
 // under the realizable data plane (kSP-8 + MPTCP) instead of optimal
 // routing: do failures hurt more when routing is imperfect?
 func AblationFailuresRealizableRouting(opt Options) *Table {
-	n, ports, deg, servers := 60, 12, 9, 180
+	n, ports, servers := 60, 12, 180
 	if !opt.Quick {
-		n, ports, deg, servers = 125, 10, 8, 250
+		n, ports, servers = 125, 10, 250
 	}
 	src := rng.New(opt.Seed).Split("ablation-fail")
 	trials := opt.trials(3)
@@ -122,24 +146,24 @@ func AblationFailuresRealizableRouting(opt Options) *Table {
 		Title:   "link failures under kSP-8 + MPTCP (realizable routing)",
 		Columns: []string{"fail_frac", "throughput", "vs_healthy"},
 	}
-	var healthy float64
-	for _, f := range []float64{0, 0.05, 0.10, 0.15, 0.20} {
-		var tp float64
-		for i := 0; i < trials; i++ {
+	fracs := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	w := opt.workers()
+	tps := parallel.Map(w, len(fracs), func(fi int) float64 {
+		f := fracs[fi]
+		return parallel.SumFloat64(w, trials, func(i int) float64 {
 			tsrc := src.SplitN(fmt.Sprintf("f%.2f", f), i)
 			top := spread(n, ports, servers, tsrc.Split("topo"))
-			_ = deg
 			topology.RemoveRandomLinks(top, f, tsrc.Split("fail"))
-			tp += simMean(top, "ksp8", flowsim.MPTCP8, tsrc.Split("sim")) / float64(trials)
-		}
-		if f == 0 {
-			healthy = tp
-		}
+			return simMean(top, "ksp8", flowsim.MPTCP8, tsrc.Split("sim"), 1) / float64(trials)
+		})
+	})
+	healthy := tps[0]
+	for fi, f := range fracs {
 		rel := 1.0
 		if healthy > 0 {
-			rel = tp / healthy
+			rel = tps[fi] / healthy
 		}
-		t.AddRow(fmt.Sprintf("%.2f", f), tp, rel)
+		t.AddRow(fmt.Sprintf("%.2f", f), tps[fi], rel)
 	}
 	t.Notes = append(t.Notes, "routes are recomputed on the failed topology: kSP routing sees failures as just another random graph")
 	return t
@@ -161,17 +185,33 @@ func AblationSwitchFailures(opt Options) *Table {
 		Title:   "whole-switch failures: throughput of surviving servers (optimal routing)",
 		Columns: []string{"fail_frac", "surviving_servers", "throughput"},
 	}
-	for _, f := range []float64{0, 0.05, 0.10, 0.20} {
-		var tp float64
-		var surv int
-		for i := 0; i < trials; i++ {
+	fracs := []float64{0, 0.05, 0.10, 0.20}
+	w := opt.workers()
+	type failRow struct {
+		surv int
+		tp   float64
+	}
+	rows := parallel.Map(w, len(fracs), func(fi int) failRow {
+		f := fracs[fi]
+		type trialOut struct {
+			surv int
+			tp   float64
+		}
+		perTrial := parallel.Map(w, trials, func(i int) trialOut {
 			tsrc := src.SplitN(fmt.Sprintf("f%.2f", f), i)
 			top := topology.Jellyfish(n, ports, deg, tsrc.Split("topo"))
 			topology.FailRandomSwitches(top, f, tsrc.Split("fail"))
-			surv = top.NumServers()
-			tp += mcfThroughput(top, tsrc.Split("traffic")) / float64(trials)
+			return trialOut{top.NumServers(), mcfThroughput(top, tsrc.Split("traffic"), 1) / float64(trials)}
+		})
+		var r failRow
+		for _, v := range perTrial {
+			r.surv = v.surv // last trial's survivor count, as before
+			r.tp += v.tp
 		}
-		t.AddRow(fmt.Sprintf("%.2f", f), surv, tp)
+		return r
+	})
+	for fi, f := range fracs {
+		t.AddRow(fmt.Sprintf("%.2f", f), rows[fi].surv, rows[fi].tp)
 	}
 	t.Notes = append(t.Notes, "graceful degradation extends from links (Fig. 8) to whole switches")
 	return t
@@ -194,13 +234,20 @@ func AblationAllToAll(opt Options) *Table {
 		Title:   fmt.Sprintf("all-to-all traffic, optimal routing, equal equipment (k=%d)", k),
 		Columns: []string{"topology", "servers", "throughput"},
 	}
+	w := opt.workers()
 	eval := func(top *topology.Topology) float64 {
 		comms := traffic.AllToAll(top.ServerSwitches())
-		res := mcf.MaxConcurrentFlow(top.Graph, comms, mcf.Options{})
+		res := mcf.MaxConcurrentFlow(top.Graph, comms, mcf.Options{Workers: w})
 		return metrics.Clamp01(res.Lambda)
 	}
-	t.AddRow("fattree", ft.NumServers(), eval(ft))
-	t.AddRow("jellyfish", jf.NumServers(), eval(jf))
+	tps := parallel.Map(w, 2, func(i int) float64 {
+		if i == 0 {
+			return eval(ft)
+		}
+		return eval(jf)
+	})
+	t.AddRow("fattree", ft.NumServers(), tps[0])
+	t.AddRow("jellyfish", jf.NumServers(), tps[1])
 	t.Notes = append(t.Notes, "jellyfish's advantage is not an artifact of permutation traffic")
 	return t
 }
@@ -221,16 +268,22 @@ func AblationPacketVsFluid(opt Options) *Table {
 		Title:   "three evaluation stacks on the same topology (kSP-8 + MPTCP)",
 		Columns: []string{"servers", "optimal_mcf", "fluid_flowsim", "packet_des", "des/fluid"},
 	}
-	for _, servers := range sizes {
+	w := opt.workers()
+	rows := parallel.Map(w, len(sizes), func(si int) [3]float64 {
+		servers := sizes[si]
 		tsrc := src.Split(fmt.Sprintf("s%d", servers))
 		top := spread(servers/3, 12, servers, tsrc.Split("topo"))
 		pat := traffic.RandomPermutation(top.ServerSwitches(), tsrc.Split("traffic"))
-		table := routeTable(top, pat, "ksp8", tsrc.Split("routes"))
+		table := routeTable(top, pat, "ksp8", tsrc.Split("routes"), w)
 
-		optimal := mcfThroughput(top, tsrc.Split("mcf"))
+		optimal := mcfThroughput(top, tsrc.Split("mcf"), 1)
 		fluid := flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, tsrc.Split("fluid")).Mean()
 		des := packetsim.Simulate(pat.Flows, table,
 			packetsim.Config{Subflows: 8, Coupled: true, Horizon: 6000}, tsrc.Split("des")).Mean()
+		return [3]float64{optimal, fluid, des}
+	})
+	for si, servers := range sizes {
+		optimal, fluid, des := rows[si][0], rows[si][1], rows[si][2]
 		ratio := 1.0
 		if fluid > 0 {
 			ratio = des / fluid
@@ -258,16 +311,20 @@ func AblationHotspot(opt Options) *Table {
 		Title:   fmt.Sprintf("hotspot traffic: fraction of senders targeting one rack (%d switches)", n),
 		Columns: []string{"hot_frac", "throughput"},
 	}
-	for _, f := range []float64{0, 0.1, 0.2, 0.4} {
-		var tp float64
-		for i := 0; i < trials; i++ {
+	fracs := []float64{0, 0.1, 0.2, 0.4}
+	w := opt.workers()
+	tps := parallel.Map(w, len(fracs), func(fi int) float64 {
+		f := fracs[fi]
+		return parallel.SumFloat64(w, trials, func(i int) float64 {
 			tsrc := src.SplitN(fmt.Sprintf("f%.1f", f), i)
 			top := topology.Jellyfish(n, ports, deg, tsrc.Split("topo"))
 			pat := traffic.Hotspot(top.ServerSwitches(), 0, f, tsrc.Split("traffic"))
-			res := mcf.MaxConcurrentFlow(top.Graph, pat.Commodities(), mcf.Options{})
-			tp += metrics.Clamp01(res.Lambda) / float64(trials)
-		}
-		t.AddRow(fmt.Sprintf("%.1f", f), tp)
+			res := mcf.MaxConcurrentFlow(top.Graph, pat.Commodities(), mcf.Options{Workers: 1})
+			return metrics.Clamp01(res.Lambda) / float64(trials)
+		})
+	})
+	for fi, f := range fracs {
+		t.AddRow(fmt.Sprintf("%.1f", f), tps[fi])
 	}
 	t.Notes = append(t.Notes, "concurrent throughput is pinned by the hot rack ingress capacity (r links vs hot demand); the rest of the fabric is unaffected")
 	return t

@@ -6,6 +6,7 @@ import (
 	"jellyfish/internal/bisection"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/metrics"
+	"jellyfish/internal/parallel"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
 	"jellyfish/internal/traffic"
@@ -13,32 +14,31 @@ import (
 
 // mcfThroughput evaluates normalized optimal-routing throughput of a
 // topology under one random permutation.
-func mcfThroughput(t *topology.Topology, src *rng.Source) float64 {
+func mcfThroughput(t *topology.Topology, src *rng.Source, workers int) float64 {
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src)
-	res := mcf.MaxConcurrentFlow(t.Graph, pat.Commodities(), mcf.Options{})
+	res := mcf.MaxConcurrentFlow(t.Graph, pat.Commodities(), mcf.Options{Workers: workers})
 	return metrics.Clamp01(res.Lambda)
 }
 
-// meanMCFThroughput averages mcfThroughput over trials.
-func meanMCFThroughput(t *topology.Topology, src *rng.Source, trials int) float64 {
-	var sum float64
-	for i := 0; i < trials; i++ {
-		sum += mcfThroughput(t, src.SplitN("trial", i))
-	}
-	return sum / float64(trials)
+// meanMCFThroughput averages mcfThroughput over trials, fanning the
+// independent trials out over workers goroutines. Each trial draws from
+// its own index-derived stream and results are summed in trial order, so
+// the mean is bit-identical for every worker count.
+func meanMCFThroughput(t *topology.Topology, src *rng.Source, trials, workers int) float64 {
+	return parallel.SumFloat64(workers, trials, func(i int) float64 {
+		return mcfThroughput(t, src.SplitN("trial", i), 1)
+	}) / float64(trials)
 }
 
 // supportsFull reports whether the topology serves `trials` permutations at
-// full rate (λ ≥ 1−slack).
-func supportsFull(t *topology.Topology, src *rng.Source, trials int) bool {
+// full rate (λ ≥ 1−slack). Trials run concurrently; the answer is the AND
+// of independent per-trial results, so it is worker-count independent.
+func supportsFull(t *topology.Topology, src *rng.Source, trials, workers int) bool {
 	const slack = 0.03
-	for i := 0; i < trials; i++ {
+	return parallel.All(workers, trials, func(i int) bool {
 		pat := traffic.RandomPermutation(t.ServerSwitches(), src.SplitN("feas", i))
-		if !mcf.FeasibleAtFull(t.Graph, pat.Commodities(), mcf.Options{}, slack) {
-			return false
-		}
-	}
-	return true
+		return mcf.FeasibleAtFull(t.Graph, pat.Commodities(), mcf.Options{Workers: 1}, slack)
+	})
 }
 
 // spread builds a Jellyfish with servers spread evenly over switches.
@@ -88,20 +88,27 @@ func Fig1cPathLengthCDF(opt Options) *Table {
 	trials := opt.trials(10)
 
 	// Jellyfish from identical equipment carrying the same server count.
+	// Trials are independent builds; merge in trial order afterwards.
+	type trialStats struct {
+		cdf  []float64
+		diam int
+	}
+	perTrial := parallel.MapSeeded(opt.workers(), src, "jf", trials, func(i int, tsrc *rng.Source) trialStats {
+		jf := spread(switches, k, servers, tsrc)
+		stats := jf.SwitchPathStats()
+		return trialStats{cdf: stats.CDF(), diam: stats.Diameter}
+	})
 	jfCDF := make([]float64, 0)
 	var jfDiam int
-	for i := 0; i < trials; i++ {
-		jf := spread(switches, k, servers, src.SplitN("jf", i))
-		stats := jf.SwitchPathStats()
-		cdf := stats.CDF()
-		for d := range cdf {
+	for _, ts := range perTrial {
+		for d := range ts.cdf {
 			for d >= len(jfCDF) {
 				jfCDF = append(jfCDF, 0)
 			}
-			jfCDF[d] += cdf[d] / float64(trials)
+			jfCDF[d] += ts.cdf[d] / float64(trials)
 		}
-		if stats.Diameter > jfDiam {
-			jfDiam = stats.Diameter
+		if ts.diam > jfDiam {
+			jfDiam = ts.diam
 		}
 	}
 	ftStats := ft.SwitchPathStats()
@@ -216,7 +223,13 @@ func Fig2cServersAtFullThroughput(opt Options) *Table {
 		Title:   "servers at full capacity vs equipment cost (optimal routing, random permutation)",
 		Columns: []string{"k", "total_ports", "ft_servers", "jf_servers", "improvement"},
 	}
-	for _, k := range ks {
+	// Each switch size runs its own binary search concurrently; the search
+	// itself is sequential but every feasibility probe fans its trials out.
+	type kRow struct {
+		ports, ftServers, jfServers int
+	}
+	rows := parallel.Map(opt.workers(), len(ks), func(i int) kRow {
+		k := ks[i]
 		ft := topology.FatTree(k)
 		switches := ft.NumSwitches()
 		ftServers := ft.NumServers()
@@ -226,11 +239,15 @@ func Fig2cServersAtFullThroughput(opt Options) *Table {
 				return false
 			}
 			jf := spread(switches, k, servers, ksrc.SplitN("topo", servers))
-			return supportsFull(jf, ksrc.SplitN("traffic", servers), trials)
+			return supportsFull(jf, ksrc.SplitN("traffic", servers), trials, opt.workers())
 		}
 		jfServers := maxServersFullCapacity(ftServers, switches*(k-1), feasible)
-		t.AddRow(k, ft.TotalPorts(), ftServers,
-			jfServers, fmt.Sprintf("%.1f%%", 100*(float64(jfServers)/float64(ftServers)-1)))
+		return kRow{ft.TotalPorts(), ftServers, jfServers}
+	})
+	for i, k := range ks {
+		r := rows[i]
+		t.AddRow(k, r.ports, r.ftServers,
+			r.jfServers, fmt.Sprintf("%.1f%%", 100*(float64(r.jfServers)/float64(r.ftServers)-1)))
 	}
 	t.Notes = append(t.Notes, "paper: up to 27% more servers at the largest size evaluated (874 vs 686)")
 	return t
@@ -254,21 +271,25 @@ func Fig3DegreeDiameter(opt Options) *Table {
 		Title:   "throughput: best-known degree-diameter graphs vs Jellyfish (normalized)",
 		Columns: []string{"(A,B,C)", "dd_throughput", "jf_throughput", "jf/dd"},
 	}
-	for _, c := range configs {
-		n, ports, deg := c[0], c[1], c[2]
+	w := opt.workers()
+	tps := parallel.Map(w, len(configs), func(ci int) [2]float64 {
+		n, ports, deg := configs[ci][0], configs[ci][1], configs[ci][2]
 		csrc := src.Split(fmt.Sprintf("%d-%d-%d", n, ports, deg))
 		dd := topology.DegreeDiameterTopology(n, ports, deg, csrc.Split("dd"))
-		ddTp := meanMCFThroughput(dd, csrc.Split("dd-traffic"), trials)
-		var jfTp float64
-		for i := 0; i < trials; i++ {
+		ddTp := meanMCFThroughput(dd, csrc.Split("dd-traffic"), trials, w)
+		jfTp := parallel.SumFloat64(w, trials, func(i int) float64 {
 			jf := topology.Jellyfish(n, ports, deg, csrc.SplitN("jf", i))
-			jfTp += mcfThroughput(jf, csrc.SplitN("jf-traffic", i)) / float64(trials)
-		}
+			return mcfThroughput(jf, csrc.SplitN("jf-traffic", i), 1) / float64(trials)
+		})
+		return [2]float64{ddTp, jfTp}
+	})
+	for ci, c := range configs {
+		ddTp, jfTp := tps[ci][0], tps[ci][1]
 		ratio := 1.0
 		if ddTp > 0 {
 			ratio = jfTp / ddTp
 		}
-		t.AddRow(fmt.Sprintf("(%d,%d,%d)", n, ports, deg), ddTp, jfTp, ratio)
+		t.AddRow(fmt.Sprintf("(%d,%d,%d)", c[0], c[1], c[2]), ddTp, jfTp, ratio)
 	}
 	t.Notes = append(t.Notes,
 		"dd graphs: exact Moore constructions (Petersen, Hoffman–Singleton) where classical, simulated-annealing optimized regular graphs otherwise (DESIGN.md §8)",
@@ -291,21 +312,19 @@ func Fig4SWDC(opt Options) *Table {
 		Title:   fmt.Sprintf("throughput vs SWDC variants (degree 6, %d switches, 2 servers/switch)", n),
 		Columns: []string{"topology", "switches", "throughput"},
 	}
-	jf := func(i int) *topology.Topology {
-		return topology.Jellyfish(n, deg+servers, deg, src.SplitN("jf", i))
-	}
-	var jfTp float64
-	for i := 0; i < trials; i++ {
-		jfTp += mcfThroughput(jf(i), src.SplitN("jf-traffic", i)) / float64(trials)
-	}
+	w := opt.workers()
+	jfTp := parallel.SumFloat64(w, trials, func(i int) float64 {
+		jf := topology.Jellyfish(n, deg+servers, deg, src.SplitN("jf", i))
+		return mcfThroughput(jf, src.SplitN("jf-traffic", i), 1) / float64(trials)
+	})
 	t.AddRow("jellyfish", n, jfTp)
 
 	ring := topology.SWDCRing(n, deg, servers, src.Split("ring"))
-	t.AddRow("swdc-ring", n, meanMCFThroughput(ring, src.Split("ring-traffic"), trials))
+	t.AddRow("swdc-ring", n, meanMCFThroughput(ring, src.Split("ring-traffic"), trials, w))
 	torus := topology.SWDC2DTorus(n, deg, servers, src.Split("torus"))
-	t.AddRow("swdc-2dtorus", n, meanMCFThroughput(torus, src.Split("torus-traffic"), trials))
+	t.AddRow("swdc-2dtorus", n, meanMCFThroughput(torus, src.Split("torus-traffic"), trials, w))
 	hex := topology.SWDC3DHexTorus(hexN, deg, servers, src.Split("hex"))
-	t.AddRow("swdc-3dhextorus", hexN, meanMCFThroughput(hex, src.Split("hex-traffic"), trials))
+	t.AddRow("swdc-3dhextorus", hexN, meanMCFThroughput(hex, src.Split("hex-traffic"), trials, w))
 	t.Notes = append(t.Notes, "paper: jellyfish ≈ 119% of the best SWDC variant (the ring)")
 	return t
 }

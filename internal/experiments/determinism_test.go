@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderWith runs the experiment with the given worker count and returns
+// the fully rendered table, so the comparison covers every formatted cell
+// and note.
+func renderWith(t *testing.T, id string, workers int) string {
+	t.Helper()
+	run := Lookup(id)
+	if run == nil {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	var buf bytes.Buffer
+	run(Options{Seed: 42, Quick: true, Workers: workers}).Fprint(&buf)
+	return buf.String()
+}
+
+// The tentpole guarantee: identical Seed yields byte-identical tables
+// regardless of worker count. The chosen experiments cover all three
+// concurrent layers — fig10 drives the batched MCF solver plus kSP
+// routing and the flow simulator, fig9 drives the ECMP/kSP route-table
+// fan-out, and table1 drives the per-trial experiment fan-out.
+func TestWorkerCountDeterminism(t *testing.T) {
+	for _, id := range []string{"fig10", "fig9", "table1"} {
+		serial := renderWith(t, id, 1)
+		for _, w := range []int{4, 8} {
+			if got := renderWith(t, id, w); got != serial {
+				t.Errorf("%s: Workers=%d output differs from Workers=1\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+					id, w, serial, w, got)
+			}
+		}
+	}
+}
+
+// Options.Workers=0 must behave like "all cores", not "no workers".
+func TestWorkersZeroMeansAllCores(t *testing.T) {
+	if got := renderWith(t, "fig9", 0); got != renderWith(t, "fig9", 1) {
+		t.Fatal("Workers=0 output differs from serial output")
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"jellyfish/internal/parallel"
 )
 
 // Options control experiment scale.
@@ -21,7 +23,20 @@ type Options struct {
 	// Quick trims sweeps to small sizes so the whole suite runs in
 	// seconds; full-scale sweeps match the paper's sizes.
 	Quick bool
+	// Workers sets the fan-out width. Experiments nest at most two
+	// Workers-wide levels (sweep points × trials, or a narrow stage ×
+	// per-source route builds / solver batches), so at most ~Workers²
+	// tasks are in flight; per-trial solver and simulator runs are
+	// serial. 0 selects runtime.NumCPU(); 1 runs the whole experiment
+	// serially. For a hard CPU cap on a shared machine, also bound
+	// GOMAXPROCS. Identical Seed yields bit-identical tables for every
+	// Workers value: per-trial random streams are derived from the root
+	// seed by stable index, never by completion order.
+	Workers int
 }
+
+// workers resolves the Workers knob (0 = all cores).
+func (o Options) workers() int { return parallel.Workers(o.Workers) }
 
 func (o Options) trials(def int) int {
 	if o.Trials > 0 {

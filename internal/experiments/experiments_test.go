@@ -9,6 +9,16 @@ import (
 
 var quick = Options{Seed: 42, Quick: true}
 
+// fullScale skips the test under -short: these sweeps dominate the
+// suite's ~1min runtime. `go test -short ./...` keeps a seconds-long
+// smoke subset; the full suite runs without -short.
+func fullScale(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale sweep; run without -short to include it")
+	}
+}
+
 func parseFloat(t *testing.T, s string) float64 {
 	t.Helper()
 	s = strings.TrimSuffix(s, "%")
@@ -100,6 +110,7 @@ func TestFig2bQuick(t *testing.T) {
 }
 
 func TestFig2cQuick(t *testing.T) {
+	fullScale(t)
 	tab := Fig2cServersAtFullThroughput(quick)
 	for _, row := range tab.Rows {
 		ft := parseFloat(t, row[2])
@@ -111,6 +122,7 @@ func TestFig2cQuick(t *testing.T) {
 }
 
 func TestFig3Quick(t *testing.T) {
+	fullScale(t)
 	tab := Fig3DegreeDiameter(quick)
 	for _, row := range tab.Rows {
 		ratio := parseFloat(t, row[3])
@@ -125,6 +137,7 @@ func TestFig3Quick(t *testing.T) {
 }
 
 func TestFig4Quick(t *testing.T) {
+	fullScale(t)
 	tab := Fig4SWDC(quick)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(tab.Rows))
@@ -149,6 +162,7 @@ func TestFig5Quick(t *testing.T) {
 }
 
 func TestFig6Quick(t *testing.T) {
+	fullScale(t)
 	tab := Fig6IncrementalVsScratch(quick)
 	for _, row := range tab.Rows {
 		incr := parseFloat(t, row[2])
@@ -231,6 +245,7 @@ func TestFig10Quick(t *testing.T) {
 }
 
 func TestFig11Quick(t *testing.T) {
+	fullScale(t)
 	tab := Fig11PacketLevelServers(quick)
 	for _, row := range tab.Rows {
 		ft := parseFloat(t, row[2])
@@ -270,6 +285,7 @@ func TestFig13Quick(t *testing.T) {
 }
 
 func TestFig14Quick(t *testing.T) {
+	fullScale(t)
 	tab := Fig14Locality(quick)
 	for _, row := range tab.Rows {
 		frac := parseFloat(t, row[1])
@@ -291,6 +307,7 @@ func TestAblationRoutingKQuick(t *testing.T) {
 }
 
 func TestAblationOversubscriptionQuick(t *testing.T) {
+	fullScale(t)
 	tab := AblationOversubscription(quick)
 	// Throughput is nonincreasing in servers per switch (monotone dial,
 	// modulo small solver noise).
@@ -310,6 +327,7 @@ func TestAblationOversubscriptionQuick(t *testing.T) {
 }
 
 func TestAblationHeterogeneousQuick(t *testing.T) {
+	fullScale(t)
 	tab := AblationHeterogeneousExpansion(quick)
 	base := parseFloat(t, tab.Rows[0][4])
 	upgraded := parseFloat(t, tab.Rows[2][4])
@@ -339,6 +357,7 @@ func TestAblationAllToAllQuick(t *testing.T) {
 }
 
 func TestAblationSwitchFailuresQuick(t *testing.T) {
+	fullScale(t)
 	tab := AblationSwitchFailures(quick)
 	healthy := parseFloat(t, tab.Rows[0][2])
 	at10 := parseFloat(t, tab.Rows[2][2])
@@ -348,6 +367,7 @@ func TestAblationSwitchFailuresQuick(t *testing.T) {
 }
 
 func TestAblationPacketVsFluidQuick(t *testing.T) {
+	fullScale(t)
 	tab := AblationPacketVsFluid(quick)
 	for _, row := range tab.Rows {
 		ratio := parseFloat(t, row[4])
@@ -358,6 +378,7 @@ func TestAblationPacketVsFluidQuick(t *testing.T) {
 }
 
 func TestAblationHotspotQuick(t *testing.T) {
+	fullScale(t)
 	tab := AblationHotspot(quick)
 	prev := 2.0
 	for _, row := range tab.Rows {

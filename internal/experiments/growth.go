@@ -5,6 +5,8 @@ import (
 
 	"jellyfish/internal/expansion"
 	"jellyfish/internal/flowsim"
+	"jellyfish/internal/graph"
+	"jellyfish/internal/parallel"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
 )
@@ -26,12 +28,17 @@ func Fig5PathLength(opt Options) *Table {
 		Title:   fmt.Sprintf("path length vs size, RRG(N,%d,%d): from scratch vs incremental", k, r),
 		Columns: []string{"switches", "servers", "scratch_mean", "scratch_diam", "incr_mean", "incr_diam"},
 	}
-	// Incremental network grows once, measured at each checkpoint.
+	// From-scratch builds are independent per size and run concurrently;
+	// the incremental network grows once through the same checkpoints,
+	// which is inherently sequential.
+	scratchStats := parallel.Map(opt.workers(), len(sizes), func(i int) graph.PathStats {
+		n := sizes[i]
+		return topology.Jellyfish(n, k, r, src.SplitN("scratch", n)).Graph.AllPairsStats()
+	})
 	incr := topology.Jellyfish(sizes[0], k, r, src.Split("incr-base"))
 	prev := sizes[0]
-	for _, n := range sizes {
-		scratch := topology.Jellyfish(n, k, r, src.SplitN("scratch", n))
-		ss := scratch.Graph.AllPairsStats()
+	for i, n := range sizes {
+		ss := scratchStats[i]
 		if n > prev {
 			topology.ExpandJellyfish(incr, n-prev, k, r, src.SplitN("grow", n))
 			prev = n
@@ -62,19 +69,30 @@ func Fig6IncrementalVsScratch(opt Options) *Table {
 		Title:   "throughput per server: incremental growth vs from-scratch (k=12, 4 servers/switch)",
 		Columns: []string{"switches", "servers", "incremental", "scratch"},
 	}
-	for _, n := range sizes {
-		var incrSum, scratchSum float64
-		for trial := 0; trial < trials; trial++ {
+	w := opt.workers()
+	sums := parallel.Map(w, len(sizes), func(si int) [2]float64 {
+		n := sizes[si]
+		perTrial := parallel.Map(w, trials, func(trial int) [2]float64 {
 			tsrc := src.SplitN(fmt.Sprintf("n%d", n), trial)
 			incr := topology.Jellyfish(sizes[0], k, r, tsrc.Split("base"))
 			for grown := sizes[0]; grown < n; grown += 20 {
 				topology.ExpandJellyfish(incr, 20, k, r, tsrc.SplitN("grow", grown))
 			}
 			scratch := topology.Jellyfish(n, k, r, tsrc.Split("scratch"))
-			incrSum += mcfThroughput(incr, tsrc.Split("incr-traffic"))
-			scratchSum += mcfThroughput(scratch, tsrc.Split("scratch-traffic"))
+			return [2]float64{
+				mcfThroughput(incr, tsrc.Split("incr-traffic"), 1),
+				mcfThroughput(scratch, tsrc.Split("scratch-traffic"), 1),
+			}
+		})
+		var incrSum, scratchSum float64
+		for _, v := range perTrial {
+			incrSum += v[0]
+			scratchSum += v[1]
 		}
-		t.AddRow(n, n*srv, incrSum/float64(trials), scratchSum/float64(trials))
+		return [2]float64{incrSum, scratchSum}
+	})
+	for si, n := range sizes {
+		t.AddRow(n, n*srv, sums[si][0]/float64(trials), sums[si][1]/float64(trials))
 	}
 	t.Notes = append(t.Notes, "paper: the two curves are close to identical at every size")
 	return t
@@ -139,21 +157,30 @@ func Fig8Failures(opt Options) *Table {
 	// Max-concurrent flow would instead report the single worst server,
 	// which after failures is dictated by whichever edge switch lost the
 	// most uplinks. Relative columns normalize to the healthy network.
-	var jfTp, ftTp []float64
-	for _, f := range fracs {
-		var jfSum, ftSum float64
-		for trial := 0; trial < trials; trial++ {
+	w := opt.workers()
+	sums := parallel.Map(w, len(fracs), func(fi int) [2]float64 {
+		f := fracs[fi]
+		perTrial := parallel.Map(w, trials, func(trial int) [2]float64 {
 			tsrc := src.SplitN(fmt.Sprintf("f%.2f", f), trial)
 			jf := spread(switches, k, jfServers, tsrc.Split("jf"))
 			topology.RemoveRandomLinks(jf, f, tsrc.Split("jf-fail"))
-			jfSum += simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("jf-traffic")) / float64(trials)
+			jfTrial := simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("jf-traffic"), 1) / float64(trials)
 
 			ftc := ft.Clone()
 			topology.RemoveRandomLinks(ftc, f, tsrc.Split("ft-fail"))
-			ftSum += simMean(ftc, "ecmp8", flowsim.MPTCP8, tsrc.Split("ft-traffic")) / float64(trials)
+			return [2]float64{jfTrial, simMean(ftc, "ecmp8", flowsim.MPTCP8, tsrc.Split("ft-traffic"), 1) / float64(trials)}
+		})
+		var jfSum, ftSum float64
+		for _, v := range perTrial {
+			jfSum += v[0]
+			ftSum += v[1]
 		}
-		jfTp = append(jfTp, jfSum)
-		ftTp = append(ftTp, ftSum)
+		return [2]float64{jfSum, ftSum}
+	})
+	var jfTp, ftTp []float64
+	for fi := range fracs {
+		jfTp = append(jfTp, sums[fi][0])
+		ftTp = append(ftTp, sums[fi][1])
 	}
 	for i, f := range fracs {
 		t.AddRow(fmt.Sprintf("%.2f", f), jfTp[i], jfTp[i]/jfTp[0], ftTp[i], ftTp[i]/ftTp[0])

@@ -5,6 +5,7 @@ import (
 
 	"jellyfish/internal/flowsim"
 	"jellyfish/internal/metrics"
+	"jellyfish/internal/parallel"
 	"jellyfish/internal/placement"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/routing"
@@ -12,8 +13,9 @@ import (
 	"jellyfish/internal/traffic"
 )
 
-// routeTable builds the table for a pattern under the named scheme.
-func routeTable(t *topology.Topology, pat *traffic.Pattern, scheme string, src *rng.Source) *routing.Table {
+// routeTable builds the table for a pattern under the named scheme,
+// fanning the per-source path computations out over workers goroutines.
+func routeTable(t *topology.Topology, pat *traffic.Pattern, scheme string, src *rng.Source, workers int) *routing.Table {
 	var sd [][2]int
 	for _, f := range pat.Flows {
 		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
@@ -21,18 +23,18 @@ func routeTable(t *topology.Topology, pat *traffic.Pattern, scheme string, src *
 	pairs := routing.PairsForCommodities(sd)
 	switch scheme {
 	case "ecmp64":
-		return routing.ECMP(t.Graph, pairs, 64, src)
+		return routing.ECMP(t.Graph, pairs, 64, src, workers)
 	case "ksp8":
-		return routing.KShortest(t.Graph, pairs, 8)
+		return routing.KShortest(t.Graph, pairs, 8, workers)
 	default:
-		return routing.ECMP(t.Graph, pairs, 8, src)
+		return routing.ECMP(t.Graph, pairs, 8, src, workers)
 	}
 }
 
 // simMean runs the flow simulator and returns mean per-server throughput.
-func simMean(t *topology.Topology, scheme string, proto flowsim.Protocol, src *rng.Source) float64 {
+func simMean(t *topology.Topology, scheme string, proto flowsim.Protocol, src *rng.Source, workers int) float64 {
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
-	table := routeTable(t, pat, scheme, src.Split("routes"))
+	table := routeTable(t, pat, scheme, src.Split("routes"), workers)
 	return flowsim.Simulate(pat.Flows, table, proto, src.Split("sim")).Mean()
 }
 
@@ -55,9 +57,14 @@ func Fig9ECMPPathCounts(opt Options) *Table {
 	jf := spread(switches, k, jfServers, src.Split("topo"))
 	pat := traffic.RandomPermutation(jf.ServerSwitches(), src.Split("traffic"))
 
+	schemes := []string{"ecmp8", "ecmp64", "ksp8"}
+	ranked := parallel.Map(opt.workers(), len(schemes), func(i int) []int {
+		scheme := schemes[i]
+		return routing.RankedLinkLoads(jf.Graph, routeTable(jf, pat, scheme, src.Split(scheme), opt.workers()))
+	})
 	series := map[string][]int{}
-	for _, scheme := range []string{"ecmp8", "ecmp64", "ksp8"} {
-		series[scheme] = routing.RankedLinkLoads(jf.Graph, routeTable(jf, pat, scheme, src.Split(scheme)))
+	for i, scheme := range schemes {
+		series[scheme] = ranked[i]
 	}
 	t := &Table{
 		ID:      "fig9",
@@ -100,14 +107,22 @@ func Table1RoutingCongestion(opt Options) *Table {
 		Title:   fmt.Sprintf("throughput %% of NIC: fat-tree(%d srv, ECMP) vs jellyfish(%d srv, ECMP / 8SP)", ft.NumServers(), jfServers),
 		Columns: []string{"congestion_control", "ft_ecmp", "jf_ecmp", "jf_8sp"},
 	}
+	w := opt.workers()
 	protos := []flowsim.Protocol{flowsim.TCP1, flowsim.TCP8, flowsim.MPTCP8}
 	for _, proto := range protos {
-		var ftv, jfe, jfk float64
-		for i := 0; i < trials; i++ {
+		perTrial := parallel.Map(w, trials, func(i int) [3]float64 {
 			tsrc := src.SplitN(proto.String(), i)
-			ftv += simMean(ft, "ecmp8", proto, tsrc.Split("ft")) / float64(trials)
-			jfe += simMean(jf, "ecmp8", proto, tsrc.Split("jfe")) / float64(trials)
-			jfk += simMean(jf, "ksp8", proto, tsrc.Split("jfk")) / float64(trials)
+			return [3]float64{
+				simMean(ft, "ecmp8", proto, tsrc.Split("ft"), 1) / float64(trials),
+				simMean(jf, "ecmp8", proto, tsrc.Split("jfe"), 1) / float64(trials),
+				simMean(jf, "ksp8", proto, tsrc.Split("jfk"), 1) / float64(trials),
+			}
+		})
+		var ftv, jfe, jfk float64
+		for _, v := range perTrial {
+			ftv += v[0]
+			jfe += v[1]
+			jfk += v[2]
 		}
 		t.AddRow(proto.String(),
 			fmt.Sprintf("%.1f%%", 100*ftv), fmt.Sprintf("%.1f%%", 100*jfe), fmt.Sprintf("%.1f%%", 100*jfk))
@@ -138,15 +153,26 @@ func Fig10SimVsOptimal(opt Options) *Table {
 		Title:   "k-shortest-path + MPTCP vs optimal routing (same topologies)",
 		Columns: []string{"servers", "optimal", "packet_level", "ratio"},
 	}
-	for _, s := range sizes {
-		var optSum, pktSum float64
-		for i := 0; i < trials; i++ {
+	w := opt.workers()
+	results := parallel.Map(w, len(sizes), func(si int) [2]float64 {
+		s := sizes[si]
+		perTrial := parallel.Map(w, trials, func(i int) [2]float64 {
 			tsrc := src.SplitN(fmt.Sprintf("s%d", s), i)
 			jf := fig10Config(s, tsrc.Split("topo"))
-			optSum += mcfThroughput(jf, tsrc.Split("mcf"))
-			pktSum += simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("pkt"))
+			return [2]float64{
+				mcfThroughput(jf, tsrc.Split("mcf"), 1),
+				simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("pkt"), 1),
+			}
+		})
+		var optSum, pktSum float64
+		for _, v := range perTrial {
+			optSum += v[0]
+			pktSum += v[1]
 		}
-		o, p := optSum/float64(trials), pktSum/float64(trials)
+		return [2]float64{optSum / float64(trials), pktSum / float64(trials)}
+	})
+	for si, s := range sizes {
+		o, p := results[si][0], results[si][1]
 		t.AddRow(s, o, p, p/o)
 	}
 	t.Notes = append(t.Notes, "paper: packet-level reaches 86-90% of the CPLEX optimum at every size")
@@ -155,23 +181,22 @@ func Fig10SimVsOptimal(opt Options) *Table {
 
 // packetLevelMaxServers binary-searches the servers jellyfish supports at
 // ≥ the fat-tree's packet-level throughput (Fig. 11 methodology).
-func packetLevelMaxServers(k int, trials int, src *rng.Source) (ftServers, jfServers int, ftTp float64) {
+func packetLevelMaxServers(k int, trials int, src *rng.Source, workers int) (ftServers, jfServers int, ftTp float64) {
 	ft := topology.FatTree(k)
 	ftServers = ft.NumServers()
-	for i := 0; i < trials; i++ {
-		ftTp += simMean(ft, "ecmp8", flowsim.MPTCP8, src.SplitN("ft", i)) / float64(trials)
-	}
+	ftTp = parallel.SumFloat64(workers, trials, func(i int) float64 {
+		return simMean(ft, "ecmp8", flowsim.MPTCP8, src.SplitN("ft", i), 1) / float64(trials)
+	})
 	switches := ft.NumSwitches()
 	feasible := func(servers int) bool {
 		if servers > switches*(k-1) {
 			return false
 		}
-		var tp float64
-		for i := 0; i < trials; i++ {
+		tp := parallel.SumFloat64(workers, trials, func(i int) float64 {
 			tsrc := src.SplitN(fmt.Sprintf("jf%d", servers), i)
 			jf := spread(switches, k, servers, tsrc.Split("topo"))
-			tp += simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("sim")) / float64(trials)
-		}
+			return simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("sim"), 1) / float64(trials)
+		})
 		return tp >= ftTp
 	}
 	// Search down from half the fat-tree's size so that configurations
@@ -198,11 +223,21 @@ func Fig11PacketLevelServers(opt Options) *Table {
 		Title:   "servers at equal packet-level throughput vs equipment cost",
 		Columns: []string{"k", "total_ports", "ft_servers", "ft_throughput", "jf_servers", "improvement"},
 	}
-	for _, k := range ks {
+	type kRow struct {
+		ftServers, jfServers int
+		ftTp                 float64
+	}
+	w := opt.workers()
+	rows := parallel.Map(w, len(ks), func(i int) kRow {
+		k := ks[i]
 		ksrc := src.Split(fmt.Sprintf("k%d", k))
-		ftServers, jfServers, ftTp := packetLevelMaxServers(k, trials, ksrc)
-		t.AddRow(k, 5*k*k/4*k, ftServers, ftTp, jfServers,
-			fmt.Sprintf("%.1f%%", 100*(float64(jfServers)/float64(ftServers)-1)))
+		ftServers, jfServers, ftTp := packetLevelMaxServers(k, trials, ksrc, w)
+		return kRow{ftServers, jfServers, ftTp}
+	})
+	for i, k := range ks {
+		r := rows[i]
+		t.AddRow(k, 5*k*k/4*k, r.ftServers, r.ftTp, r.jfServers,
+			fmt.Sprintf("%.1f%%", 100*(float64(r.jfServers)/float64(r.ftServers)-1)))
 	}
 	t.Notes = append(t.Notes, "paper: >25% more servers at the largest scale (3,330 vs 2,662), ≈15% at small scale")
 	return t
@@ -223,20 +258,34 @@ func Fig12Stability(opt Options) *Table {
 		Title:   "throughput stability across runs (avg [min,max])",
 		Columns: []string{"k", "topology", "servers", "avg", "min", "max"},
 	}
-	for _, k := range ks {
+	w := opt.workers()
+	type kSeries struct {
+		ftServers, jfServers int
+		ftv, jfv             []float64
+	}
+	series := parallel.Map(w, len(ks), func(i int) kSeries {
+		k := ks[i]
 		ksrc := src.Split(fmt.Sprintf("k%d", k))
 		ft := topology.FatTree(k)
-		var ftv, jfv []float64
 		jfServers := int(float64(ft.NumServers()) * jfExtra)
-		for i := 0; i < trials; i++ {
+		perTrial := parallel.Map(w, trials, func(i int) [2]float64 {
 			tsrc := ksrc.SplitN("trial", i)
-			ftv = append(ftv, simMean(ft, "ecmp8", flowsim.MPTCP8, tsrc.Split("ft")))
+			ftTp := simMean(ft, "ecmp8", flowsim.MPTCP8, tsrc.Split("ft"), 1)
 			jf := spread(ft.NumSwitches(), k, jfServers, tsrc.Split("jf-topo"))
-			jfv = append(jfv, simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("jf")))
+			return [2]float64{ftTp, simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("jf"), 1)}
+		})
+		s := kSeries{ftServers: ft.NumServers(), jfServers: jfServers}
+		for _, v := range perTrial {
+			s.ftv = append(s.ftv, v[0])
+			s.jfv = append(s.jfv, v[1])
 		}
-		fs, js := metrics.Summarize(ftv), metrics.Summarize(jfv)
-		t.AddRow(k, "fattree", ft.NumServers(), fs.Mean, fs.Min, fs.Max)
-		t.AddRow(k, "jellyfish", jfServers, js.Mean, js.Min, js.Max)
+		return s
+	})
+	for i, k := range ks {
+		s := series[i]
+		fs, js := metrics.Summarize(s.ftv), metrics.Summarize(s.jfv)
+		t.AddRow(k, "fattree", s.ftServers, fs.Mean, fs.Min, fs.Max)
+		t.AddRow(k, "jellyfish", s.jfServers, js.Mean, js.Min, js.Max)
 	}
 	t.Notes = append(t.Notes, "paper: jellyfish is as stable as the fat-tree (min/max within a few percent of the mean)")
 	return t
@@ -250,13 +299,19 @@ func Fig13Fairness(opt Options) *Table {
 	ft := topology.FatTree(k)
 	jf := spread(ft.NumSwitches(), k, jfServers, src.Split("jf"))
 
+	w := opt.workers()
 	run := func(top *topology.Topology, scheme string, s *rng.Source) []float64 {
 		pat := traffic.RandomPermutation(top.ServerSwitches(), s.Split("traffic"))
-		table := routeTable(top, pat, scheme, s.Split("routes"))
+		table := routeTable(top, pat, scheme, s.Split("routes"), w)
 		return flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, s.Split("sim")).FlowRate
 	}
-	ftRates := run(ft, "ecmp8", src.Split("ft"))
-	jfRates := run(jf, "ksp8", src.Split("jf-run"))
+	rates := parallel.Map(w, 2, func(i int) []float64 {
+		if i == 0 {
+			return run(ft, "ecmp8", src.Split("ft"))
+		}
+		return run(jf, "ksp8", src.Split("jf-run"))
+	})
+	ftRates, jfRates := rates[0], rates[1]
 
 	t := &Table{
 		ID:      "fig13",
@@ -291,25 +346,45 @@ func Fig14Locality(opt Options) *Table {
 		Title:   "2-layer jellyfish: throughput (normalized to unrestricted) vs fraction of local links",
 		Columns: []string{"servers", "local_frac", "throughput", "normalized"},
 	}
-	for _, sz := range sizes {
+	w := opt.workers()
+	type szResult struct {
+		servers int
+		base    float64
+		tps     []float64 // one per frac
+	}
+	results := parallel.Map(w, len(sizes), func(si int) szResult {
+		sz := sizes[si]
 		servers := sz.containers * sz.spc * (k - r)
 		ssrc := src.Split(fmt.Sprintf("s%d", servers))
-		var base float64
-		for i := 0; i < trials; i++ {
+		base := parallel.SumFloat64(w, trials, func(i int) float64 {
 			unrestricted := placement.TwoLayerJellyfish(sz.containers, sz.spc, k, r, 0, ssrc.SplitN("base", i))
-			base += mcfThroughput(unrestricted, ssrc.SplitN("base-traffic", i)) / float64(trials)
-		}
-		for _, f := range fracs {
-			var tp float64
+			return mcfThroughput(unrestricted, ssrc.SplitN("base-traffic", i), 1) / float64(trials)
+		})
+		// One worker-wide level over the flattened (frac, trial) space;
+		// per-frac sums accumulate in trial order, so the result matches
+		// the nested sequential loops bit for bit.
+		perTrial := parallel.Map(w, len(fracs)*trials, func(idx int) float64 {
+			f := fracs[idx/trials]
+			i := idx % trials
+			top := placement.TwoLayerJellyfish(sz.containers, sz.spc, k, r, f, ssrc.SplitN(fmt.Sprintf("f%.1f", f), i))
+			return mcfThroughput(top, ssrc.SplitN(fmt.Sprintf("f%.1f-traffic", f), i), 1) / float64(trials)
+		})
+		tps := make([]float64, len(fracs))
+		for fi := range fracs {
 			for i := 0; i < trials; i++ {
-				top := placement.TwoLayerJellyfish(sz.containers, sz.spc, k, r, f, ssrc.SplitN(fmt.Sprintf("f%.1f", f), i))
-				tp += mcfThroughput(top, ssrc.SplitN(fmt.Sprintf("f%.1f-traffic", f), i)) / float64(trials)
+				tps[fi] += perTrial[fi*trials+i]
 			}
+		}
+		return szResult{servers, base, tps}
+	})
+	for _, res := range results {
+		for fi, f := range fracs {
+			tp := res.tps[fi]
 			norm := 1.0
-			if base > 0 {
-				norm = tp / base
+			if res.base > 0 {
+				norm = tp / res.base
 			}
-			t.AddRow(servers, fmt.Sprintf("%.1f", f), tp, norm)
+			t.AddRow(res.servers, fmt.Sprintf("%.1f", f), tp, norm)
 		}
 	}
 	t.Notes = append(t.Notes,

@@ -28,9 +28,9 @@ func tableFor(g *graph.Graph, flows []traffic.Flow, kind string, k int) *routing
 	}
 	pairs := routing.PairsForCommodities(sd)
 	if kind == "ecmp" {
-		return routing.ECMP(g, pairs, k, rng.New(99))
+		return routing.ECMP(g, pairs, k, rng.New(99), 1)
 	}
-	return routing.KShortest(g, pairs, k)
+	return routing.KShortest(g, pairs, k, 1)
 }
 
 func TestSingleFlowFullRate(t *testing.T) {
@@ -130,8 +130,8 @@ func TestProtocolOrderingOnJellyfish(t *testing.T) {
 		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
 	}
 	pairs := routing.PairsForCommodities(sd)
-	ecmp := routing.ECMP(top.Graph, pairs, 8, rng.New(99))
-	ksp := routing.KShortest(top.Graph, pairs, 8)
+	ecmp := routing.ECMP(top.Graph, pairs, 8, rng.New(99), 1)
+	ksp := routing.KShortest(top.Graph, pairs, 8, 1)
 
 	tcp1 := Simulate(pat.Flows, ecmp, TCP1, rng.New(5)).Mean()
 	mptcpKSP := Simulate(pat.Flows, ksp, MPTCP8, rng.New(5)).Mean()
@@ -197,7 +197,7 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	for _, f := range pat.Flows {
 		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
 	}
-	table := routing.ECMP(top.Graph, routing.PairsForCommodities(sd), 8, rng.New(99))
+	table := routing.ECMP(top.Graph, routing.PairsForCommodities(sd), 8, rng.New(99), 1)
 	a := Simulate(pat.Flows, table, TCP8, rng.New(13))
 	b := Simulate(pat.Flows, table, TCP8, rng.New(13))
 	for i := range a.FlowRate {

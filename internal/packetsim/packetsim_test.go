@@ -22,9 +22,9 @@ func tableFor(g *graph.Graph, flows []traffic.Flow, ksp bool) *routing.Table {
 	}
 	pairs := routing.PairsForCommodities(sd)
 	if ksp {
-		return routing.KShortest(g, pairs, 8)
+		return routing.KShortest(g, pairs, 8, 1)
 	}
-	return routing.ECMP(g, pairs, 8, rng.New(77))
+	return routing.ECMP(g, pairs, 8, rng.New(77), 1)
 }
 
 func TestSingleFlowSaturatesLink(t *testing.T) {

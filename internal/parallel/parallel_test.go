@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"jellyfish/internal/rng"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatalf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", Workers(0), runtime.NumCPU())
+	}
+	if Workers(-1) != runtime.NumCPU() {
+		t.Fatalf("Workers(-1) = %d, want NumCPU", Workers(-1))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 64} {
+		n := 100
+		counts := make([]atomic.Int32, n)
+		ForEach(w, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const w, n = 3, 200
+	var inFlight, peak atomic.Int32
+	ForEach(w, n, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > w {
+		t.Fatalf("observed %d concurrent tasks, worker bound is %d", p, w)
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	fn := func(i int) int { return i * i }
+	want := Map(1, 50, fn)
+	for _, w := range []int{2, 7, 16} {
+		got := Map(w, 50, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapSeededDeterministicAcrossWorkerCounts(t *testing.T) {
+	draw := func(workers int) []float64 {
+		root := rng.New(7)
+		return MapSeeded(workers, root, "trial", 32, func(i int, src *rng.Source) float64 {
+			return src.Float64()
+		})
+	}
+	want := draw(1)
+	for _, w := range []int{2, 8} {
+		got := draw(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: stream %d drew %v, want %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSumFloat64MatchesSequentialOrder(t *testing.T) {
+	fn := func(i int) float64 { return 1.0 / float64(i+1) }
+	var seq float64
+	for i := 0; i < 1000; i++ {
+		seq += fn(i)
+	}
+	for _, w := range []int{1, 4, 16} {
+		if got := SumFloat64(w, 1000, fn); got != seq {
+			t.Fatalf("workers=%d: sum = %v, want bit-identical %v", w, got, seq)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		if All(w, 20, func(i int) bool { return i != 3 }) {
+			t.Fatalf("workers=%d: All = true despite a failing index", w)
+		}
+		if !All(w, 20, func(int) bool { return true }) {
+			t.Fatalf("workers=%d: All = false with no failing index", w)
+		}
+	}
+	// An early failure skips un-started work (serial execution makes the
+	// count deterministic: index 0 fails, 1..19 are skipped).
+	var evaluated atomic.Int32
+	All(1, 20, func(i int) bool {
+		evaluated.Add(1)
+		return false
+	})
+	if n := evaluated.Load(); n != 1 {
+		t.Fatalf("serial All evaluated %d indices after a failure, want 1", n)
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called with n=0") })
+	if out := Map(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("Map with n=0 returned %v", out)
+	}
+	if !All(4, 0, func(int) bool { return false }) {
+		t.Fatal("All over empty range should be vacuously true")
+	}
+}

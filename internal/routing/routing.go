@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"jellyfish/internal/graph"
+	"jellyfish/internal/parallel"
 	"jellyfish/internal/rng"
 )
 
@@ -29,14 +30,17 @@ func (t *Table) PathsFor(src, dst int) []graph.Path {
 }
 
 // KShortest builds a k-shortest-path table for the given pairs using Yen's
-// algorithm on the switch graph.
-func KShortest(g *graph.Graph, pairs []Pair, k int) *Table {
+// algorithm on the switch graph. The per-pair computations are independent
+// and fan out over `workers` goroutines (0 = all cores); the table is
+// identical for every worker count.
+func KShortest(g *graph.Graph, pairs []Pair, k, workers int) *Table {
 	t := &Table{Paths: make(map[Pair][]graph.Path, len(pairs)), Kind: kindName("ksp", k)}
-	for _, p := range pairs {
-		if _, done := t.Paths[p]; done {
-			continue
-		}
-		t.Paths[p] = g.KShortestPaths(p.Src, p.Dst, k)
+	uniq := dedupPairs(pairs)
+	paths := parallel.Map(workers, len(uniq), func(i int) []graph.Path {
+		return g.KShortestPaths(uniq[i].Src, uniq[i].Dst, k)
+	})
+	for i, p := range uniq {
+		t.Paths[p] = paths[i]
 	}
 	return t
 }
@@ -46,11 +50,17 @@ func KShortest(g *graph.Graph, pairs []Pair, k int) *Table {
 // modeling hash-based ECMP, which spreads flows over ALL equal-cost
 // next-hops rather than a lexicographically-first subset. Pass src for
 // reproducible sampling.
-func ECMP(g *graph.Graph, pairs []Pair, w int, src *rng.Source) *Table {
+//
+// Pairs are grouped by source (one BFS serves every destination of that
+// source) and the groups fan out over `workers` goroutines. Each source
+// samples from its own stream, derived from src by source id — never from
+// a shared stream consumed in completion order — so the table is identical
+// for every worker count.
+func ECMP(g *graph.Graph, pairs []Pair, w int, src *rng.Source, workers int) *Table {
 	t := &Table{Paths: make(map[Pair][]graph.Path, len(pairs)), Kind: kindName("ecmp", w)}
-	// Group by source so one BFS serves all pairs from that source.
+	uniq := dedupPairs(pairs)
 	bySrc := map[int][]int{}
-	for _, p := range pairs {
+	for _, p := range uniq {
 		bySrc[p.Src] = append(bySrc[p.Src], p.Dst)
 	}
 	srcs := make([]int, 0, len(bySrc))
@@ -58,20 +68,38 @@ func ECMP(g *graph.Graph, pairs []Pair, w int, src *rng.Source) *Table {
 		srcs = append(srcs, s)
 	}
 	sort.Ints(srcs)
-	for _, s := range srcs {
+	groups := parallel.Map(workers, len(srcs), func(i int) [][]graph.Path {
+		s := srcs[i]
+		ssrc := src.SplitN("ecmp-src", s)
 		dist := g.BFS(s)
 		// npaths[v]: number of shortest s→v paths (saturating float64 —
 		// only ratios are needed for uniform sampling).
 		npaths := pathCounts(g, s, dist)
-		for _, dst := range bySrc[s] {
-			p := Pair{s, dst}
-			if _, done := t.Paths[p]; done {
-				continue
-			}
-			t.Paths[p] = sampleEqualCostPaths(g, s, dst, dist, npaths, w, src)
+		out := make([][]graph.Path, len(bySrc[s]))
+		for j, dst := range bySrc[s] {
+			out[j] = sampleEqualCostPaths(g, s, dst, dist, npaths, w, ssrc)
+		}
+		return out
+	})
+	for i, s := range srcs {
+		for j, dst := range bySrc[s] {
+			t.Paths[Pair{s, dst}] = groups[i][j]
 		}
 	}
 	return t
+}
+
+// dedupPairs drops duplicate pairs, keeping first-appearance order.
+func dedupPairs(pairs []Pair) []Pair {
+	seen := make(map[Pair]bool, len(pairs))
+	out := make([]Pair, 0, len(pairs))
+	for _, p := range pairs {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // pathCounts computes the number of shortest paths from s to every vertex

@@ -9,7 +9,7 @@ import (
 )
 
 func ecmp(g *graph.Graph, pairs []Pair, w int) *Table {
-	return ECMP(g, pairs, w, rng.New(99))
+	return ECMP(g, pairs, w, rng.New(99), 4)
 }
 
 func ring(n int) *graph.Graph {
@@ -72,7 +72,7 @@ func TestKShortestIncludesLonger(t *testing.T) {
 	g.AddEdge(0, 3)
 	g.AddEdge(3, 4)
 	g.AddEdge(4, 2)
-	tab := KShortest(g, []Pair{{0, 2}}, 8)
+	tab := KShortest(g, []Pair{{0, 2}}, 8, 4)
 	paths := tab.PathsFor(0, 2)
 	if len(paths) != 2 {
 		t.Fatalf("kSP paths = %v, want 2", paths)
@@ -87,7 +87,7 @@ func TestTableKinds(t *testing.T) {
 	if k := ecmp(g, nil, 64).Kind; k != "ecmp-64" {
 		t.Fatalf("kind = %q", k)
 	}
-	if k := KShortest(g, nil, 8).Kind; k != "ksp-8" {
+	if k := KShortest(g, nil, 8, 4).Kind; k != "ksp-8" {
 		t.Fatalf("kind = %q", k)
 	}
 }
@@ -98,7 +98,7 @@ func TestUnreachablePair(t *testing.T) {
 	if p := ecmp(g, []Pair{{0, 2}}, 8).PathsFor(0, 2); p != nil {
 		t.Fatalf("ECMP found paths to unreachable: %v", p)
 	}
-	if p := KShortest(g, []Pair{{0, 2}}, 8).PathsFor(0, 2); p != nil {
+	if p := KShortest(g, []Pair{{0, 2}}, 8, 4).PathsFor(0, 2); p != nil {
 		t.Fatalf("kSP found paths to unreachable: %v", p)
 	}
 }
@@ -108,7 +108,7 @@ func TestLinkLoadCountsDirected(t *testing.T) {
 	g := graph.New(3)
 	g.AddEdge(0, 1)
 	g.AddEdge(1, 2)
-	tab := KShortest(g, []Pair{{0, 2}, {2, 0}}, 4)
+	tab := KShortest(g, []Pair{{0, 2}, {2, 0}}, 4, 4)
 	load := LinkLoad(g, tab)
 	if load[[2]int{0, 1}] != 1 || load[[2]int{1, 0}] != 1 {
 		t.Fatalf("directed loads = %v", load)
@@ -120,7 +120,7 @@ func TestLinkLoadCountsDirected(t *testing.T) {
 
 func TestLinkLoadIncludesUnusedLinks(t *testing.T) {
 	g := ring(6)
-	tab := KShortest(g, []Pair{{0, 1}}, 1)
+	tab := KShortest(g, []Pair{{0, 1}}, 1, 4)
 	load := LinkLoad(g, tab)
 	if len(load) != 12 {
 		t.Fatalf("got %d directed links, want 12", len(load))
@@ -138,7 +138,7 @@ func TestLinkLoadIncludesUnusedLinks(t *testing.T) {
 
 func TestRankedLinkLoadsSorted(t *testing.T) {
 	g := ring(6)
-	tab := KShortest(g, []Pair{{0, 3}, {1, 4}}, 4)
+	tab := KShortest(g, []Pair{{0, 3}, {1, 4}}, 4, 4)
 	ranks := RankedLinkLoads(g, tab)
 	for i := 1; i < len(ranks); i++ {
 		if ranks[i] < ranks[i-1] {
@@ -166,7 +166,7 @@ func TestKSPUsesMoreLinksThanECMP(t *testing.T) {
 		pairs = append(pairs, Pair{s, (s + 7) % 40})
 	}
 	ecmp := ecmp(top.Graph, pairs, 8)
-	ksp := KShortest(top.Graph, pairs, 8)
+	ksp := KShortest(top.Graph, pairs, 8, 4)
 	usedECMP, usedKSP := 0, 0
 	for _, c := range LinkLoad(top.Graph, ecmp) {
 		if c > 0 {
@@ -180,5 +180,56 @@ func TestKSPUsesMoreLinksThanECMP(t *testing.T) {
 	}
 	if usedKSP <= usedECMP {
 		t.Fatalf("kSP uses %d links, ECMP %d — expected kSP > ECMP", usedKSP, usedECMP)
+	}
+}
+
+// Route tables must be identical for every worker count: kSP is pure
+// fan-out, and ECMP samples from per-source streams derived by source id
+// rather than a shared sequentially-consumed stream.
+func TestTablesIdenticalAcrossWorkerCounts(t *testing.T) {
+	top := topology.Jellyfish(40, 10, 6, rng.New(3))
+	var pairs []Pair
+	for s := 0; s < 40; s++ {
+		pairs = append(pairs, Pair{s, (s + 11) % 40}, Pair{s, (s + 23) % 40})
+	}
+	samePaths := func(a, b *Table) bool {
+		if len(a.Paths) != len(b.Paths) {
+			return false
+		}
+		for p, pa := range a.Paths {
+			pb, ok := b.Paths[p]
+			if !ok || len(pa) != len(pb) {
+				return false
+			}
+			for i := range pa {
+				if pathKey(pa[i]) != pathKey(pb[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	kspSerial := KShortest(top.Graph, pairs, 8, 1)
+	ecmpSerial := ECMP(top.Graph, pairs, 8, rng.New(99), 1)
+	for _, w := range []int{2, 8, 0} {
+		if !samePaths(kspSerial, KShortest(top.Graph, pairs, 8, w)) {
+			t.Fatalf("kSP table differs at workers=%d", w)
+		}
+		if !samePaths(ecmpSerial, ECMP(top.Graph, pairs, 8, rng.New(99), w)) {
+			t.Fatalf("ECMP table differs at workers=%d", w)
+		}
+	}
+}
+
+func TestDedupPairs(t *testing.T) {
+	got := dedupPairs([]Pair{{0, 1}, {2, 3}, {0, 1}, {2, 3}, {4, 5}})
+	want := []Pair{{0, 1}, {2, 3}, {4, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("dedupPairs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupPairs[%d] = %v, want %v (first-appearance order)", i, got[i], want[i])
+		}
 	}
 }

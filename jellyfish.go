@@ -9,6 +9,9 @@
 //
 // # Quick start
 //
+// The module path is "jellyfish"; build everything with `go build ./...`
+// from the repository root.
+//
 //	net := jellyfish.New(jellyfish.Config{Switches: 100, Ports: 24, NetworkDegree: 12, Seed: 1})
 //	fmt.Println(net.NumServers())            // 1200
 //	stats := net.PathStats()                 // switch-to-switch path lengths
@@ -18,6 +21,21 @@
 // internal representation); it exposes the switch graph, per-switch port
 // budgets and server counts, and is accepted by every evaluator in this
 // package.
+//
+// # Parallel evaluation
+//
+// The evaluation stack is parallel end to end, built on the bounded
+// worker pool in internal/parallel: independent experiment trials and
+// sweep points fan out in internal/experiments (the Workers field on
+// experiments.Options, surfaced as -workers on cmd/experiments), route
+// tables build one source per task in internal/routing, and the
+// concurrent-flow solver batches its per-source shortest-path sweeps in
+// internal/mcf (mcf.Options.Workers). Evaluators in this package take an
+// optional trailing worker count — OptimalThroughput(net, seed, 4) —
+// surfaced as -workers on cmd/jellyfish. Everywhere, 0 means all cores
+// and 1 means serial, and results are bit-identical for every worker
+// count: per-task random streams are derived from the root seed by
+// stable index, never from a shared stream consumed in completion order.
 package jellyfish
 
 import (
@@ -26,6 +44,7 @@ import (
 	"jellyfish/internal/graph"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/metrics"
+	"jellyfish/internal/parallel"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
 	"jellyfish/internal/traffic"
@@ -96,11 +115,13 @@ func FailRandomSwitches(t *Topology, fraction float64, seed uint64) []int {
 // traffic with optimal (fluid, splittable) routing — the paper's §4
 // methodology — and returns the normalized per-server throughput in [0,1]:
 // the largest fraction of every server's NIC rate that can be delivered
-// simultaneously, capped at 1.
-func OptimalThroughput(t *Topology, seed uint64) float64 {
+// simultaneously, capped at 1. The optional trailing argument bounds the
+// flow solver's CPU parallelism (default: all cores); the value returned
+// is identical for every worker count.
+func OptimalThroughput(t *Topology, seed uint64, workers ...int) float64 {
 	src := rng.New(seed)
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
-	res := mcf.MaxConcurrentFlow(t.Graph, pat.Commodities(), mcf.Options{})
+	res := mcf.MaxConcurrentFlow(t.Graph, pat.Commodities(), mcf.Options{Workers: firstOrZero(workers)})
 	return metrics.Clamp01(res.Lambda)
 }
 
@@ -108,15 +129,15 @@ func OptimalThroughput(t *Topology, seed uint64) float64 {
 // independent random-permutation matrices at full NIC rate for every
 // server — the paper's "full capacity" test. slack absorbs the
 // approximation tolerance of the flow solver (0.03 is a good default).
-func SupportsFullThroughput(t *Topology, trials int, slack float64, seed uint64) bool {
+func SupportsFullThroughput(t *Topology, trials int, slack float64, seed uint64, workers ...int) bool {
 	src := rng.New(seed)
-	for i := 0; i < trials; i++ {
+	w := firstOrZero(workers)
+	return parallel.All(w, trials, func(i int) bool {
 		pat := traffic.RandomPermutation(t.ServerSwitches(), src.SplitN("traffic", i))
-		if !mcf.FeasibleAtFull(t.Graph, pat.Commodities(), mcf.Options{}, slack) {
-			return false
-		}
-	}
-	return true
+		// Trials are the fan-out; each solver runs serially to keep the
+		// goroutine count at w rather than w².
+		return mcf.FeasibleAtFull(t.Graph, pat.Commodities(), mcf.Options{Workers: 1}, slack)
+	})
 }
 
 // MaxServersAtFullThroughput binary-searches the largest server count a
