@@ -13,6 +13,9 @@ import (
 	"testing"
 
 	"jellyfish/internal/experiments"
+	"jellyfish/internal/mcf"
+	"jellyfish/internal/rng"
+	"jellyfish/internal/traffic"
 )
 
 var benchOpt = experiments.Options{Seed: 1, Quick: true}
@@ -155,6 +158,33 @@ func BenchmarkOptimalThroughputParallel(b *testing.B) {
 }
 
 // ---- micro-benchmarks on the core primitives ----
+
+// BenchmarkMaxConcurrentFlow times one GK solve on a paper-scale-ish
+// instance (permutation traffic on a random regular graph), the kernel
+// every capacity curve funnels through. allocs/op covers the whole solve
+// including one-time solver setup; the steady-state phase loop itself is
+// pinned at zero allocations by TestPhaseLoopZeroAllocs in internal/mcf.
+// The Workers=1 / Workers=0 pair measures intra-solver parallelism; the
+// trajectory is recorded in BENCH_mcf.json.
+func benchMaxConcurrentFlow(b *testing.B, workers int) {
+	net := New(Config{Switches: 80, Ports: 16, NetworkDegree: 12, Seed: 1})
+	pat := trafficPermutation(net, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res mcf.Result
+	for i := 0; i < b.N; i++ {
+		res = mcf.MaxConcurrentFlow(net.Graph, pat, mcf.Options{Workers: workers})
+	}
+	b.ReportMetric(res.Lambda, "lambda")
+	b.ReportMetric(float64(res.Phases), "phases")
+}
+
+func trafficPermutation(net *Topology, seed uint64) []mcf.Commodity {
+	return traffic.RandomPermutation(net.ServerSwitches(), rng.New(seed)).Commodities()
+}
+
+func BenchmarkMaxConcurrentFlow(b *testing.B)         { benchMaxConcurrentFlow(b, 1) }
+func BenchmarkMaxConcurrentFlowParallel(b *testing.B) { benchMaxConcurrentFlow(b, 0) }
 
 func BenchmarkConstructJellyfish(b *testing.B) {
 	for i := 0; i < b.N; i++ {

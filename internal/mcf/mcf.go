@@ -16,11 +16,18 @@
 //
 // The solver iterates until the two certificates are within Options.Tol of
 // each other, so reported throughputs carry per-run accuracy guarantees.
+//
+// The hot path is engineered for zero steady-state allocations (DESIGN.md
+// §5): CSR adjacency, reusable generation-stamped Dijkstra scratch per
+// batch slot and per worker, a hand-inlined 4-ary heap, early-exit sweeps
+// that stop once the source's destinations are settled, and a free
+// per-phase dual bound that lets the exact dual refresh run sparsely. The
+// measured trajectory lives in BENCH_mcf.json.
 package mcf
 
 import (
-	"container/heap"
 	"math"
+	"sort"
 
 	"jellyfish/internal/graph"
 	"jellyfish/internal/parallel"
@@ -116,17 +123,20 @@ type solver struct {
 	g   *graph.Graph
 	opt Options
 
-	// static topology (CSR adjacency with arc ids)
-	n       int
-	edges   []graph.Edge
-	arcTo   []int   // arc i goes to arcTo[i]
-	arcCap  float64 // uniform capacity
-	nodeArc [][]int // outgoing arc ids per node
+	// static topology, flattened to CSR so a sweep touches three flat
+	// arrays instead of chasing per-node slice headers
+	n        int
+	edges    []graph.Edge
+	arcTo    []int32 // arc a goes to arcTo[a]; its tail is arcTo[a^1]
+	arcCap   float64 // uniform capacity
+	csrStart []int32 // arcs out of node u are csrArc[csrStart[u]:csrStart[u+1]]
+	csrArc   []int32 // outgoing arc ids, grouped by tail node
 
 	// commodities grouped by source
-	srcList []int   // distinct sources
-	bySrc   [][]int // commodity indices per source (parallel to srcList)
-	comms   []Commodity
+	srcList   []int32   // distinct sources
+	bySrc     [][]int   // commodity indices per source (parallel to srcList)
+	dstsBySrc [][]int32 // sorted distinct destinations per source (sweep targets)
+	comms     []Commodity
 
 	// GK state
 	length  []float64 // per arc
@@ -139,6 +149,23 @@ type solver struct {
 	earlyReject float64 // reject once upper bound < this (0 = off)
 
 	workers int
+
+	// reusable hot-path state: scratch[i] serves batch slot i during
+	// phases and worker i during dual refreshes (never both at once);
+	// dualParts collects per-source dual contributions for index-order
+	// summation; the closures are built once in newSolver so the phase
+	// loop passes pre-existing funcs to the pool instead of allocating
+	// a capture per batch.
+	scratch    []*sweepScratch
+	dualParts  []float64
+	batchStart int
+	sweepFn    func(i int)
+	dualFn     func(worker, gi int)
+
+	// phaseAlpha is Σ_i demand_i · dist(src_i, dst_i) read off the phase's
+	// own batch trees — the ingredient of the free per-phase dual bound
+	// (see run); written by phase, summed in srcList order.
+	phaseAlpha float64
 }
 
 // sourceBatch is the number of source vertices whose shortest-path trees
@@ -146,14 +173,24 @@ type solver struct {
 // a fixed constant — NOT the worker count — so the routing decisions, and
 // therefore λ, do not depend on how many goroutines run the batch.
 //
-// Staleness within a batch slows convergence: batch 1 reproduces the
-// seed's Gauss-Seidel sweep exactly, batch 4 costs ~13% more phases on
-// the full experiment suite (59s → 67s single-core) but lets one solver
-// occupy up to 4 cores, which repays the overhead on any multicore box.
-// Larger batches showed no further measurable serial cost on this suite
-// but drift grows with each routed unit (arcs scale by 1+ε per step), so
-// stay conservative.
+// Staleness within a batch slows convergence: batch 1 reproduces a pure
+// Gauss-Seidel sweep, batch 4 costs ~8% serial time on the benchmark
+// instance with the zero-allocation kernel (629ms/549 phases → 652ms/609
+// phases, BENCH_mcf.json) but lets one solver occupy up to 4 cores, which
+// repays the overhead on any multicore box; batch 8 measured strictly
+// worse serially (690ms/626 phases) for parallelism this suite can't use,
+// and drift grows with each routed unit (arcs scale by 1+ε per step), so
+// stay at 4.
 const sourceBatch = 4
+
+// dualRefreshEvery is the exact-dual cadence in phases. Between refreshes
+// the free per-phase bound (see run) tracks the optimum to within the
+// intra-phase length growth (~ε relative), so the refresh only needs to be
+// frequent enough that termination isn't delayed long after the true gap
+// closes; 8 costs ~12% of the sweep budget (the seed refreshed every 2nd
+// phase, ~50% of it) and moved no benchmark's phase count by more than a
+// few phases.
+const dualRefreshEvery = 8
 
 func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
 	var eff []Commodity
@@ -167,37 +204,95 @@ func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
 	}
 	edges := g.Edges()
 	m := len(edges)
+	n := g.N()
 	s := &solver{
 		g:       g,
 		opt:     opt,
-		n:       g.N(),
+		n:       n,
 		edges:   edges,
-		arcTo:   make([]int, 2*m),
+		arcTo:   make([]int32, 2*m),
 		arcCap:  opt.LinkCapacity,
-		nodeArc: make([][]int, g.N()),
 		comms:   eff,
 		length:  make([]float64, 2*m),
 		flow:    make([]float64, 2*m),
 		epsilon: opt.Epsilon,
 		workers: parallel.Workers(opt.Workers),
 	}
-	for i, e := range edges {
-		s.arcTo[2*i] = e.V
-		s.arcTo[2*i+1] = e.U
-		s.nodeArc[e.U] = append(s.nodeArc[e.U], 2*i)
-		s.nodeArc[e.V] = append(s.nodeArc[e.V], 2*i+1)
+	// CSR adjacency: counting sort of arcs by tail node, preserving edge
+	// order within each node (the order the seed's per-node slices had).
+	s.csrStart = make([]int32, n+1)
+	s.csrArc = make([]int32, 2*m)
+	for _, e := range edges {
+		s.csrStart[e.U+1]++
+		s.csrStart[e.V+1]++
 	}
-	// Group commodities by source so one Dijkstra serves many demands.
+	for v := 0; v < n; v++ {
+		s.csrStart[v+1] += s.csrStart[v]
+	}
+	cursor := make([]int32, n)
+	for i, e := range edges {
+		s.arcTo[2*i] = int32(e.V)
+		s.arcTo[2*i+1] = int32(e.U)
+		s.csrArc[s.csrStart[e.U]+cursor[e.U]] = int32(2 * i)
+		cursor[e.U]++
+		s.csrArc[s.csrStart[e.V]+cursor[e.V]] = int32(2*i + 1)
+		cursor[e.V]++
+	}
+	// Group commodities by source so one sweep serves many demands, and
+	// record each source's destination set as its sweep's early-exit
+	// targets (permutation traffic has ~1 destination per source, so a
+	// targeted sweep settles a small fraction of the graph).
 	bySrcMap := map[int][]int{}
 	for i, c := range eff {
 		bySrcMap[c.Src] = append(bySrcMap[c.Src], i)
 		s.demSum += c.Demand
 	}
-	for src := 0; src < g.N(); src++ {
-		if list, ok := bySrcMap[src]; ok {
-			s.srcList = append(s.srcList, src)
-			s.bySrc = append(s.bySrc, list)
+	for src := 0; src < n; src++ {
+		list, ok := bySrcMap[src]
+		if !ok {
+			continue
 		}
+		s.srcList = append(s.srcList, int32(src))
+		s.bySrc = append(s.bySrc, list)
+		dsts := make([]int32, 0, len(list))
+		for _, ci := range list {
+			dsts = append(dsts, int32(eff[ci].Dst))
+		}
+		sort.Slice(dsts, func(a, b int) bool { return dsts[a] < dsts[b] })
+		uniq := dsts[:0]
+		for i, d := range dsts {
+			if i == 0 || d != uniq[len(uniq)-1] {
+				uniq = append(uniq, d)
+			}
+		}
+		s.dstsBySrc = append(s.dstsBySrc, uniq)
+	}
+	// Scratch pool: phases index it by batch slot, dual refreshes by
+	// worker; size for whichever is larger.
+	nscratch := min(max(sourceBatch, s.workers), len(s.srcList))
+	s.scratch = make([]*sweepScratch, nscratch)
+	for i := range s.scratch {
+		s.scratch[i] = newSweepScratch(n)
+	}
+	s.dualParts = make([]float64, len(s.srcList))
+	s.sweepFn = func(i int) {
+		gi := s.batchStart + i
+		s.sweep(s.scratch[i], s.srcList[gi], s.dstsBySrc[gi])
+	}
+	s.dualFn = func(worker, gi int) {
+		sc := s.scratch[worker]
+		s.sweep(sc, s.srcList[gi], s.dstsBySrc[gi])
+		var a float64
+		for _, ci := range s.bySrc[gi] {
+			c := s.comms[ci]
+			d := sc.distTo(int32(c.Dst))
+			if math.IsInf(d, 1) {
+				a = math.Inf(-1) // marker: disconnected commodity
+				break
+			}
+			a += c.Demand * d
+		}
+		s.dualParts[gi] = a
 	}
 	// Garg–Könemann initial length δ/c per arc.
 	mm := float64(2 * m)
@@ -220,26 +315,39 @@ func (s *solver) run() Result {
 		phases++
 		ok := s.phase()
 		if !ok {
-			// Some commodity is disconnected: λ = 0.
-			return Result{Lambda: 0, UpperBound: 0, Phases: phases, ArcFlow: s.scaledFlow(1), Edges: s.edges}
+			// Some commodity is disconnected: λ = 0. The flow accumulated
+			// before the dead end may already overuse capacity (phases are
+			// unscaled), so normalize by the overuse like the main return
+			// does — Result.ArcFlow is documented "(scaled, feasible)".
+			rho := s.maxOveruse()
+			scale := 1.0
+			if rho > 0 {
+				scale = 1 / rho
+			}
+			return Result{Lambda: 0, UpperBound: 0, Phases: phases, ArcFlow: s.scaledFlow(scale), Edges: s.edges}
 		}
 		routedPhases++
 		lb := s.primalLambda(routedPhases)
 		if lb > bestLB {
 			bestLB = lb
 		}
-		// The dual certificate costs a full Dijkstra sweep — as much as a
-		// phase — so refresh it only periodically. Certificates stay valid:
-		// any length function bounds the optimum.
-		if phases%2 != 0 && phases > 2 {
-			if s.earlyAccept > 0 && bestLB >= s.earlyAccept {
-				break
+		// Free per-phase dual bound: each source's batch-tree distances were
+		// computed under lengths ≤ the end-of-phase lengths l (lengths only
+		// grow), so phaseAlpha ≤ α(l) and D(l)/phaseAlpha ≥ D(l)/α(l) ≥ λ*
+		// — a valid (slightly loose) upper bound costing zero extra sweeps.
+		if s.phaseAlpha > 0 {
+			if ub := s.volume() / s.phaseAlpha; ub < bestUB {
+				bestUB = ub
 			}
-			continue
 		}
-		ub := s.dualBound()
-		if ub < bestUB {
-			bestUB = ub
+		// The exact dual certificate costs a full sweep set — as much as a
+		// phase — so refresh it sparsely, just often enough to close the
+		// intra-phase slack the free bound carries. Certificates stay valid
+		// at any cadence: any length function bounds the optimum.
+		if phases == 2 || phases%dualRefreshEvery == 0 {
+			if ub := s.dualBound(); ub < bestUB {
+				bestUB = ub
+			}
 		}
 		if s.earlyAccept > 0 && bestLB >= s.earlyAccept {
 			break
@@ -282,61 +390,75 @@ func (s *solver) run() Result {
 // not care (the primal bound holds for ANY flow, the dual for ANY length
 // function), and batch-start snapshots make the routing, and hence λ,
 // independent of the worker count.
+//
+// Each batch slot i sweeps into s.scratch[i], so the whole batch's trees
+// stay alive while flow is applied, and nothing is allocated: the sweeps
+// reuse slot scratch, the route walk applies flow directly off the parent
+// arcs, and s.sweepFn is a closure built once at solver construction.
 func (s *solver) phase() bool {
-	type tree struct {
-		dist      []float64
-		parentArc []int
-	}
 	for start := 0; start < len(s.srcList); start += sourceBatch {
 		end := start + sourceBatch
 		if end > len(s.srcList) {
 			end = len(s.srcList)
 		}
-		trees := parallel.Map(s.workers, end-start, func(i int) tree {
-			d, p := s.dijkstra(s.srcList[start+i])
-			return tree{d, p}
-		})
+		s.batchStart = start
+		parallel.ForEach(s.workers, end-start, s.sweepFn)
 		for gi := start; gi < end; gi++ {
 			src := s.srcList[gi]
-			dist, parentArc := trees[gi-start].dist, trees[gi-start].parentArc
+			sc := s.scratch[gi-start]
+			// Record this source's dual contribution off the batch tree
+			// (before any of its routing grows the lengths further).
+			var a float64
 			for _, ci := range s.bySrc[gi] {
 				c := s.comms[ci]
+				d := sc.distTo(int32(c.Dst))
+				if math.IsInf(d, 1) {
+					return false
+				}
+				a += c.Demand * d
+			}
+			s.dualParts[gi] = a
+			for _, ci := range s.bySrc[gi] {
+				c := s.comms[ci]
+				dst := int32(c.Dst)
 				remaining := c.Demand
-				// Route along the current tree path; if the path saturates
-				// badly (lengths grew), recompute the tree.
+				// Route along the current tree path; if the demand exceeds
+				// one bottleneck step (lengths grew), recompute the tree.
+				// Reachability was checked on the batch tree above and is
+				// static, so recomputed trees always reach dst.
 				for remaining > 0 {
-					if math.IsInf(dist[c.Dst], 1) {
-						return false
-					}
-					path := s.extractPath(c.Dst, parentArc)
 					// Bottleneck-limited step: with uniform arc capacities the
 					// path bottleneck is a single arc's capacity.
 					step := math.Min(remaining, s.arcCap)
-					for _, a := range path {
-						s.flow[a] += step
-						s.length[a] *= 1 + s.epsilon*step/s.arcCap
-					}
+					s.applyFlow(sc, dst, step)
 					remaining -= step
 					if remaining > 0 {
-						dist, parentArc = s.dijkstra(src)
+						s.sweep(sc, src, s.dstsBySrc[gi])
 					}
 				}
 			}
 		}
 	}
+	var alpha float64
+	for _, a := range s.dualParts {
+		alpha += a
+	}
+	s.phaseAlpha = alpha
 	return true
 }
 
-func (s *solver) extractPath(dst int, parentArc []int) []int {
-	var path []int
-	for v := dst; parentArc[v] >= 0; {
-		a := parentArc[v]
-		path = append(path, a)
+// applyFlow walks the tree path into dst (parent arcs back to the source)
+// and routes step units along it, updating flows and GK lengths in place.
+// Every vertex on the path was settled by the sweep, so the walk is over
+// final parents.
+func (s *solver) applyFlow(sc *sweepScratch, dst int32, step float64) {
+	for v := dst; sc.parentArc[v] >= 0; {
+		a := sc.parentArc[v]
+		s.flow[a] += step
+		s.length[a] *= 1 + s.epsilon*step/s.arcCap
 		// Move to the arc's tail: arc a goes tail->head where head = arcTo[a].
-		// Tail is arcTo[a^1].
 		v = s.arcTo[a^1]
 	}
-	return path
 }
 
 // primalLambda computes the certified feasible concurrent fraction for the
@@ -363,24 +485,14 @@ func (s *solver) maxOveruse() float64 {
 // dualBound computes D(l) / α(l) where D is the length volume and α(l) is
 // the minimum over length functions of Σ_i demand_i · dist_l(src_i, dst_i).
 // By LP duality every length function yields an upper bound on λ*.
-// The sweep only reads lengths, so all source trees run concurrently;
-// per-source contributions are summed in srcList order to keep the value
-// independent of scheduling.
+// The sweeps only read lengths, so all source trees run concurrently —
+// each worker reusing its own scratch (s.dualFn writes s.dualParts[gi]) —
+// and per-source contributions are summed in srcList order to keep the
+// value independent of scheduling.
 func (s *solver) dualBound() float64 {
-	parts := parallel.Map(s.workers, len(s.srcList), func(gi int) float64 {
-		dist, _ := s.dijkstra(s.srcList[gi])
-		var a float64
-		for _, ci := range s.bySrc[gi] {
-			c := s.comms[ci]
-			if math.IsInf(dist[c.Dst], 1) {
-				return math.Inf(-1) // marker: disconnected commodity
-			}
-			a += c.Demand * dist[c.Dst]
-		}
-		return a
-	})
+	parallel.ForEachWorker(s.workers, len(s.srcList), s.dualFn)
 	var alpha float64
-	for _, a := range parts {
+	for _, a := range s.dualParts {
 		if math.IsInf(a, -1) {
 			return 0
 		}
@@ -400,68 +512,10 @@ func (s *solver) volume() float64 {
 	return d
 }
 
-// dijkstra computes shortest paths from src under the current arc lengths.
-// parentArc[v] is the arc entering v on the shortest path tree (-1 at src
-// and unreachable vertices).
-func (s *solver) dijkstra(src int) (dist []float64, parentArc []int) {
-	n := s.n
-	dist = make([]float64, n)
-	parentArc = make([]int, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parentArc[i] = -1
-	}
-	dist[src] = 0
-	pq := &arcHeap{}
-	heap.Push(pq, arcItem{node: src, dist: 0})
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(arcItem)
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		du := dist[u]
-		for _, a := range s.nodeArc[u] {
-			v := s.arcTo[a]
-			if done[v] {
-				continue
-			}
-			nd := du + s.length[a]
-			if nd < dist[v] {
-				dist[v] = nd
-				parentArc[v] = a
-				heap.Push(pq, arcItem{node: v, dist: nd})
-			}
-		}
-	}
-	return dist, parentArc
-}
-
 func (s *solver) scaledFlow(scale float64) []float64 {
 	out := make([]float64, len(s.flow))
 	for i, f := range s.flow {
 		out[i] = f * scale
 	}
 	return out
-}
-
-type arcItem struct {
-	node int
-	dist float64
-}
-
-type arcHeap struct{ items []arcItem }
-
-func (h *arcHeap) Len() int           { return len(h.items) }
-func (h *arcHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
-func (h *arcHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *arcHeap) Push(x interface{}) { h.items = append(h.items, x.(arcItem)) }
-func (h *arcHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
 }

@@ -69,6 +69,57 @@ func TestDisconnectedCommodity(t *testing.T) {
 	}
 }
 
+// Regression: the disconnected early return must honor Result.ArcFlow's
+// "(scaled, feasible)" contract. Source 0 routes its 3-unit demand over
+// the single unit-capacity edge (3× overuse, phases are unscaled) before
+// source 2 hits its dead end; the returned flow used to be handed back
+// unscaled, overusing the edge 3×.
+func TestDisconnectedResultFlowFeasible(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	res := MaxConcurrentFlow(g, []Commodity{{0, 1, 3}, {2, 3, 1}}, Options{})
+	if res.Lambda != 0 {
+		t.Fatalf("lambda = %v with a disconnected commodity, want 0", res.Lambda)
+	}
+	maxFlow := 0.0
+	for i, f := range res.ArcFlow {
+		if f > 1+1e-9 {
+			t.Fatalf("arc %d flow %v exceeds capacity 1: disconnected return not scaled", i, f)
+		}
+		if f > maxFlow {
+			maxFlow = f
+		}
+	}
+	// The accumulated flow is normalized by its overuse, so the bottleneck
+	// arc sits exactly at capacity.
+	if math.Abs(maxFlow-1) > 1e-9 {
+		t.Fatalf("bottleneck arc flow = %v, want 1 (3 routed units / 3× overuse)", maxFlow)
+	}
+}
+
+// The steady-state phase loop — sweeps, routing, free dual bound, exact
+// dual refresh — must not allocate: all Dijkstra state lives in reusable
+// generation-stamped scratch and the fan-out closures are built once at
+// solver construction. One warm-up phase grows the heap backing arrays to
+// their high-water mark first.
+func TestPhaseLoopZeroAllocs(t *testing.T) {
+	g := ring(16)
+	var comms []Commodity
+	for i := 0; i < 16; i++ {
+		comms = append(comms, Commodity{i, (i + 5) % 16, 2})
+	}
+	s := newSolver(g, comms, Options{Workers: 1}.withDefaults())
+	s.phase()
+	s.dualBound()
+	allocs := testing.AllocsPerRun(10, func() {
+		s.phase()
+		s.dualBound()
+	})
+	if allocs != 0 {
+		t.Fatalf("phase loop allocated %v times per phase, want 0", allocs)
+	}
+}
+
 func TestNoCommodities(t *testing.T) {
 	res := MaxConcurrentFlow(ring(4), nil, Options{})
 	if !math.IsInf(res.Lambda, 1) {

@@ -59,6 +59,58 @@ func ForEach(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachWorker is ForEach with a worker identity: fn(worker, i) runs with
+// worker ∈ [0, W) where W = min(Workers(workers), n), and no two calls with
+// the same worker index ever run concurrently. That makes `worker` a safe
+// index into caller-owned scratch (one reusable buffer per worker instead
+// of one allocation per task) — the pattern the flow solver's Dijkstra
+// sweeps use to stay allocation-free across phases.
+//
+// Which worker claims which task is scheduling-dependent, so determinism
+// has a contract: fn's observable result for index i must not depend on the
+// worker index or on leftover scratch state. Callers that reuse scratch
+// must reset it (cheaply — e.g. generation stamps) at the top of fn.
+//
+// With one worker (or one task) everything runs inline on the calling
+// goroutine as worker 0, allocating nothing.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// MapWorker is Map with a worker identity (see ForEachWorker): out[i] =
+// fn(worker, i) in index order, where fn may reuse per-worker scratch as
+// long as the result for each index is worker-independent.
+func MapWorker[T any](workers, n int, fn func(worker, i int) T) []T {
+	out := make([]T, n)
+	ForEachWorker(workers, n, func(worker, i int) { out[i] = fn(worker, i) })
+	return out
+}
+
 // Map computes fn(i) for every i in [0, n) concurrently and returns the
 // results in index order: out[i] = fn(i) regardless of worker count or
 // scheduling.

@@ -82,6 +82,77 @@ func TestMapSeededDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// The worker-scratch contract: fn(worker, i) may freely mutate
+// scratch[worker] without synchronization because no two tasks with the
+// same worker index ever overlap. The unsynchronized read-modify-write
+// cycles below are exactly what the race detector flags if two goroutines
+// ever share a worker index (CI runs this package under -race), and the
+// final counts prove every index ran exactly once on an in-range worker.
+func TestForEachWorkerScratchIsWorkerExclusive(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		const n = 500
+		scratch := make([][]int, w)
+		ForEachWorker(w, n, func(worker, i int) {
+			if worker < 0 || worker >= w {
+				t.Errorf("worker index %d outside [0,%d)", worker, w)
+			}
+			// Unsynchronized append: safe iff the worker owns the slot.
+			scratch[worker] = append(scratch[worker], i)
+		})
+		covered := make([]int, n)
+		total := 0
+		for _, tasks := range scratch {
+			for _, i := range tasks {
+				covered[i]++
+			}
+			total += len(tasks)
+		}
+		if total != n {
+			t.Fatalf("w=%d: %d tasks ran, want %d", w, total, n)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("w=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestMapWorkerDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(worker, i int) int { return i*i + 1 } // result ignores worker
+	want := MapWorker(1, 64, fn)
+	for _, w := range []int{2, 7, 16} {
+		got := MapWorker(w, 64, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSerialRunsInlineAsWorkerZero(t *testing.T) {
+	order := []int{}
+	ForEachWorker(1, 5, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial worker index = %d, want 0", worker)
+		}
+		order = append(order, i) // inline execution: no race possible
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v, want ascending", order)
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		ForEachWorker(1, 8, noopWorkerFn)
+	}); allocs != 0 {
+		t.Fatalf("serial ForEachWorker allocated %v times, want 0", allocs)
+	}
+}
+
+func noopWorkerFn(worker, i int) {}
+
 func TestSumFloat64MatchesSequentialOrder(t *testing.T) {
 	fn := func(i int) float64 { return 1.0 / float64(i+1) }
 	var seq float64

@@ -130,8 +130,9 @@ func pathCounts(g *graph.Graph, s int, dist []int) []float64 {
 
 // sampleEqualCostPaths draws up to w distinct uniform-random shortest
 // paths from s to dst. If the DAG holds ≤ w paths they are all returned
-// (deduplicated exhaustively); otherwise rejection sampling collects w
-// distinct ones.
+// (enumerated exhaustively — rejection sampling could terminate early and
+// silently drop paths the table contract promises); otherwise rejection
+// sampling collects w distinct ones.
 func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float64, w int, src *rng.Source) []graph.Path {
 	if dist[dst] == graph.Unreachable {
 		return nil
@@ -140,10 +141,13 @@ func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float
 		return []graph.Path{{s}}
 	}
 	total := npaths[dst]
-	want := w
 	if total <= float64(w) {
-		want = int(total)
+		// npaths saturates only far above any practical w, so in this
+		// regime the count is exact and enumeration is cheap: the DAG
+		// holds at most w paths.
+		return enumerateEqualCostPaths(g, s, dst, dist)
 	}
+	want := w
 	seen := map[string]bool{}
 	var out []graph.Path
 	attempts := 0
@@ -182,6 +186,32 @@ func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float
 			out = append(out, path)
 		}
 	}
+	sort.Slice(out, func(a, b int) bool { return lessPath(out[a], out[b]) })
+	return out
+}
+
+// enumerateEqualCostPaths returns every shortest s→dst path, in lessPath
+// order, by walking the shortest-path DAG backwards from dst (predecessors
+// of v are the neighbors one BFS level closer to s). Callers bound the
+// path count before enumerating.
+func enumerateEqualCostPaths(g *graph.Graph, s, dst int, dist []int) []graph.Path {
+	var out []graph.Path
+	stack := make(graph.Path, dist[dst]+1)
+	stack[len(stack)-1] = dst
+	var walk func(v, i int)
+	walk = func(v, i int) {
+		if v == s {
+			out = append(out, append(graph.Path(nil), stack...))
+			return
+		}
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == dist[v]-1 {
+				stack[i-1] = u
+				walk(u, i-1)
+			}
+		}
+	}
+	walk(dst, len(stack)-1)
 	sort.Slice(out, func(a, b int) bool { return lessPath(out[a], out[b]) })
 	return out
 }

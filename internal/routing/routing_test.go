@@ -35,6 +35,36 @@ func TestECMPFindsAllEqualCostPaths(t *testing.T) {
 	}
 }
 
+// Regression: with exactly w equal-cost paths the table must hold all w —
+// the doc promises exhaustive dedup in that regime, but rejection sampling
+// under a bounded attempt budget could come up short. The θ-graph below
+// has exactly 8 two-hop 0→9 paths (one per middle vertex); enumeration
+// must return every one of them for w = 8, every time.
+func TestECMPExactlyWPathsAllReturned(t *testing.T) {
+	g := graph.New(10)
+	for mid := 1; mid <= 8; mid++ {
+		g.AddEdge(0, mid)
+		g.AddEdge(mid, 9)
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		tab := ECMP(g, []Pair{{0, 9}}, 8, rng.New(seed), 1)
+		paths := tab.PathsFor(0, 9)
+		if len(paths) != 8 {
+			t.Fatalf("seed %d: got %d of the 8 equal-cost paths: %v", seed, len(paths), paths)
+		}
+		seen := map[int]bool{}
+		for _, p := range paths {
+			if p.Len() != 2 || p[0] != 0 || p[2] != 9 {
+				t.Fatalf("seed %d: unexpected path %v", seed, p)
+			}
+			seen[p[1]] = true
+		}
+		if len(seen) != 8 {
+			t.Fatalf("seed %d: paths not distinct: %v", seed, paths)
+		}
+	}
+}
+
 func TestECMPWidthCap(t *testing.T) {
 	// K5 minus direct edge: many 2-hop paths 0→1; cap at 2.
 	g := graph.New(5)

@@ -35,7 +35,12 @@
 // surfaced as -workers on cmd/jellyfish. Everywhere, 0 means all cores
 // and 1 means serial, and results are bit-identical for every worker
 // count: per-task random streams are derived from the root seed by
-// stable index, never from a shared stream consumed in completion order.
+// stable index, never from a shared stream consumed in completion order,
+// and stateful hot paths reuse per-worker scratch (parallel.ForEachWorker)
+// that is generation-stamped so leftover state can never leak into
+// results. The flow solver's kernel — the sweep behind every capacity
+// number — runs with zero steady-state allocations (DESIGN.md §5;
+// measured trajectory in BENCH_mcf.json).
 package jellyfish
 
 import (
@@ -144,9 +149,17 @@ func SupportsFullThroughput(t *Topology, trials int, slack float64, seed uint64,
 // Jellyfish built from `switches` k-port switches can support at full
 // capacity under random-permutation traffic (checked on `trials`
 // matrices), reproducing the paper's Fig. 2(c) methodology. Servers are
-// spread as evenly as possible across switches.
+// spread as evenly as possible across switches. Returns 0 if not even one
+// server per switch is supportable (degenerate inventories can leave the
+// network disconnected or bottlenecked below NIC rate).
 func MaxServersAtFullThroughput(switches, ports, trials int, seed uint64) int {
 	lo, hi := switches, switches*(ports-1)
+	// The search maintains "lo is feasible" as its invariant, so verify it
+	// before trusting it: an unchecked lo would be reported as supported
+	// even when no server count is.
+	if !buildAndCheck(switches, ports, lo, trials, seed) {
+		return 0
+	}
 	// Find an infeasible upper bound first.
 	for hi > lo {
 		if !buildAndCheck(switches, ports, hi, trials, seed) {

@@ -122,6 +122,20 @@ func TestMaxServersBeatsFatTree(t *testing.T) {
 	}
 }
 
+// Regression: the capacity search must verify its lower bound. With
+// 2-port switches every switch has one network link, so the "random
+// regular graph" is a perfect matching — switch pairs with no path
+// between them — and random-permutation traffic is unroutable even at one
+// server per switch. The search used to report lo = switches as supported
+// without ever checking it.
+func TestMaxServersInfeasibleLowerBound(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		if got := MaxServersAtFullThroughput(4, 2, 2, seed); got != 0 {
+			t.Fatalf("seed %d: max servers = %d on a disconnected matching, want 0", seed, got)
+		}
+	}
+}
+
 func TestMeanPathAndDiameter(t *testing.T) {
 	net := New(Config{Switches: 40, Ports: 10, NetworkDegree: 6, Seed: 14})
 	if m := MeanPathLength(net); m <= 1 || m > 4 {
