@@ -1,0 +1,191 @@
+// Command benchgate turns `go test -bench` output into a CI pass/fail
+// signal: it compares the measured ns/op and allocs/op of budgeted
+// benchmarks against the budgets recorded in BENCH_mcf.json and exits
+// non-zero when any metric regresses beyond the recorded tolerance.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkMaxConcurrentFlow -benchtime 3x -benchmem . | tee bench.txt
+//	go run ./cmd/benchgate -budget BENCH_mcf.json -input bench.txt
+//
+// With -input omitted the bench output is read from stdin. When a
+// benchmark appears several times (e.g. -count=3), the best measurement
+// is gated, which keeps shared-runner noise from failing honest pushes.
+// A budgeted benchmark missing from the input is a failure: the gate
+// must not silently pass because a benchmark was renamed or skipped.
+//
+// Budgets live in BENCH_mcf.json under "ci_budget":
+//
+//	"ci_budget": {
+//	  "tolerance_pct": 15,
+//	  "benchmarks": {
+//	    "BenchmarkMaxConcurrentFlow": {"ns_per_op": 652000000, "allocs_per_op": 611}
+//	  }
+//	}
+//
+// Re-baseline by editing those numbers in the same commit that makes a
+// deliberate performance trade (the diff then documents the regression).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type budgetFile struct {
+	CIBudget struct {
+		TolerancePct float64 `json:"tolerance_pct"`
+		// TolerancesPct overrides the default tolerance per metric key
+		// (e.g. a wider ns_per_op band for cross-machine variance while
+		// allocs_per_op — machine-independent — stays tight).
+		TolerancesPct map[string]float64            `json:"tolerances_pct"`
+		Benchmarks    map[string]map[string]float64 `json:"benchmarks"`
+	} `json:"ci_budget"`
+}
+
+// metricUnits maps budget keys to the unit strings `go test -bench` prints.
+var metricUnits = map[string]string{
+	"ns_per_op":     "ns/op",
+	"bytes_per_op":  "B/op",
+	"allocs_per_op": "allocs/op",
+}
+
+func main() {
+	budgetPath := flag.String("budget", "BENCH_mcf.json", "budget JSON (ci_budget section)")
+	input := flag.String("input", "", "bench output file (default: stdin)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*budgetPath)
+	if err != nil {
+		fatal("read budget: %v", err)
+	}
+	var bf budgetFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		fatal("parse budget %s: %v", *budgetPath, err)
+	}
+	if len(bf.CIBudget.Benchmarks) == 0 {
+		fatal("budget %s has no ci_budget.benchmarks section", *budgetPath)
+	}
+	tol := bf.CIBudget.TolerancePct
+	if tol <= 0 {
+		tol = 15
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal("open input: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	measured := parseBench(r)
+
+	names := make([]string, 0, len(bf.CIBudget.Benchmarks))
+	for name := range bf.CIBudget.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		budget := bf.CIBudget.Benchmarks[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Printf("FAIL %s: benchmark missing from input (renamed or skipped?)\n", name)
+			failed = true
+			continue
+		}
+		metrics := make([]string, 0, len(budget))
+		for m := range budget {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			unit, known := metricUnits[m]
+			if !known {
+				fmt.Printf("FAIL %s: unknown budget metric %q\n", name, m)
+				failed = true
+				continue
+			}
+			val, ok := got[unit]
+			if !ok {
+				fmt.Printf("FAIL %s: metric %s missing from input (run with -benchmem?)\n", name, unit)
+				failed = true
+				continue
+			}
+			mtol := tol
+			if t, ok := bf.CIBudget.TolerancesPct[m]; ok && t > 0 {
+				mtol = t
+			}
+			limit := budget[m] * (1 + mtol/100)
+			status := "ok  "
+			if val > limit {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %s %s: %.0f (budget %.0f +%g%% = %.0f)\n",
+				status, name, unit, val, budget[m], mtol, limit)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all budgets met")
+}
+
+// parseBench extracts per-benchmark metrics from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkMaxConcurrentFlow-4   3   652000000 ns/op   120537 B/op   611 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped. For repeated measurements the
+// minimum per metric is kept.
+func parseBench(r io.Reader) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := out[name]
+		if m == nil {
+			m = map[string]float64{}
+			out[name] = m
+		}
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if prev, ok := m[unit]; !ok || val < prev {
+				m[unit] = val
+			}
+		}
+	}
+	return out
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -10,6 +10,12 @@
 //
 //	-throughput     evaluate optimal-routing throughput (random permutation)
 //	-packet         evaluate flow-level throughput (kSP-8 + MPTCP)
+//	-maxservers     binary-search the most servers this switch inventory
+//	                supports at full throughput (warm-started incremental
+//	                search; -trials bounds permutations per probe, -cold
+//	                disables warm starts for A/B comparison)
+//	-trials N       permutation matrices per feasibility probe (default 3)
+//	-cold           solve every probe from scratch (same instances/streams)
 //	-expand N       add N more switches incrementally before reporting
 //	-blueprint      print the cable list (one "u v" pair per line)
 //	-save FILE      write the full JSON blueprint to FILE
@@ -40,9 +46,29 @@ func main() {
 	connectivity := flag.Bool("connectivity", false, "report edge connectivity")
 	throughput := flag.Bool("throughput", false, "evaluate optimal-routing throughput")
 	packet := flag.Bool("packet", false, "evaluate flow-level (kSP-8 + MPTCP) throughput")
+	maxServers := flag.Bool("maxservers", false, "binary-search the most servers supported at full throughput (uses -switches/-ports/-trials/-seed)")
+	trials := flag.Int("trials", 3, "permutation matrices per feasibility probe of -maxservers")
+	cold := flag.Bool("cold", false, "disable flow-solver warm starts in -maxservers (same instances, cold solves)")
 	blueprint := flag.Bool("blueprint", false, "print the cabling blueprint (edge list)")
 	workers := flag.Int("workers", 0, "CPU parallelism for evaluators (0 = all cores, 1 = serial)")
 	flag.Parse()
+
+	// -maxservers is an inventory-level search: it needs only the switch
+	// count and port count, not the constructed topology (whose default
+	// network degree may not even fit the given ports).
+	if *maxServers {
+		if *fattree > 0 || *loadFile != "" {
+			fmt.Fprintln(os.Stderr, "-maxservers searches a jellyfish inventory; it needs -switches and -ports, not -fattree/-load")
+			os.Exit(2)
+		}
+		got := jellyfish.CapacitySearch{
+			Switches: *switches, Ports: *ports, Trials: *trials,
+			Seed: *seed, Workers: *workers, ColdStart: *cold,
+		}.Run()
+		fmt.Printf("max servers at full throughput: %d (%d %d-port switches, %d trials/probe)\n",
+			got, *switches, *ports, *trials)
+		return
+	}
 
 	var net *jellyfish.Topology
 	if *loadFile != "" {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"jellyfish/internal/capsearch"
 	"jellyfish/internal/flowsim"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/metrics"
@@ -56,7 +57,11 @@ func AblationRoutingK(opt Options) *Table {
 
 // AblationOversubscription sweeps the servers-per-switch dial on a fixed
 // switch pool — the "great flexibility in degrees of oversubscription" the
-// paper's abstract claims.
+// paper's abstract claims. The dial is swept incrementally: one topology
+// family grown a server per switch at a time (adjacent points share most
+// cables), with the solver warm-started from the previous point in sweep
+// order. Options.ColdStart keeps the identical sweep but solves each
+// point from scratch.
 func AblationOversubscription(opt Options) *Table {
 	n, ports := 60, 12
 	if !opt.Quick {
@@ -75,11 +80,21 @@ func AblationOversubscription(opt Options) *Table {
 		}
 	}
 	w := opt.workers()
-	tps := parallel.Map(w, len(srvs), func(i int) float64 {
-		srv := srvs[i]
-		top := topology.Jellyfish(n, ports, ports-srv, src.SplitN("topo", srv))
-		return mcfThroughput(top, src.SplitN("traffic", srv), 1)
-	})
+	base := topology.Jellyfish(n, ports, ports-srvs[0], src.SplitN("topo", srvs[0]))
+	fam := capsearch.NewFamily(base, src.Split("grow"))
+	sv := mcf.NewSolver(mcf.Options{Workers: w})
+	var st *mcf.State
+	tps := make([]float64, len(srvs))
+	for i, srv := range srvs {
+		top := fam.At(n * srv)
+		pat := traffic.RandomPermutation(top.ServerSwitches(), src.SplitN("traffic", srv))
+		if opt.ColdStart {
+			st = nil
+		}
+		var res mcf.Result
+		res, st = sv.Solve(top.Graph, pat.Commodities(), st)
+		tps[i] = metrics.Clamp01(res.Lambda)
+	}
 	for i, srv := range srvs {
 		t.AddRow(srv, n*srv, ports-srv, tps[i])
 	}
@@ -187,31 +202,43 @@ func AblationSwitchFailures(opt Options) *Table {
 	}
 	fracs := []float64{0, 0.05, 0.10, 0.20}
 	w := opt.workers()
-	type failRow struct {
-		surv int
-		tp   float64
+	// Each trial builds one topology and fails a nested set of switches
+	// (one permutation prefix per fraction), so adjacent fractions differ
+	// only by the newly failed switches' links — the solver warm-starts
+	// across the sweep, and the common-random-numbers structure removes
+	// between-point topology noise from the degradation curve.
+	type trialOut struct {
+		surv []int
+		tp   []float64
 	}
-	rows := parallel.Map(w, len(fracs), func(fi int) failRow {
-		f := fracs[fi]
-		type trialOut struct {
-			surv int
-			tp   float64
+	perTrial := parallel.Map(w, trials, func(i int) trialOut {
+		tsrc := src.SplitN("trial", i)
+		base := topology.Jellyfish(n, ports, deg, tsrc.Split("topo"))
+		perm := tsrc.Split("fail").Perm(n)
+		sv := mcf.NewSolver(mcf.Options{Workers: 1})
+		var st *mcf.State
+		out := trialOut{surv: make([]int, len(fracs)), tp: make([]float64, len(fracs))}
+		for fi, f := range fracs {
+			top := base.Clone()
+			topology.FailSwitches(top, perm[:int(f*float64(n))])
+			pat := traffic.RandomPermutation(top.ServerSwitches(), tsrc.SplitN("traffic", fi))
+			if opt.ColdStart {
+				st = nil
+			}
+			var res mcf.Result
+			res, st = sv.Solve(top.Graph, pat.Commodities(), st)
+			out.surv[fi] = top.NumServers()
+			out.tp[fi] = metrics.Clamp01(res.Lambda) / float64(trials)
 		}
-		perTrial := parallel.Map(w, trials, func(i int) trialOut {
-			tsrc := src.SplitN(fmt.Sprintf("f%.2f", f), i)
-			top := topology.Jellyfish(n, ports, deg, tsrc.Split("topo"))
-			topology.FailRandomSwitches(top, f, tsrc.Split("fail"))
-			return trialOut{top.NumServers(), mcfThroughput(top, tsrc.Split("traffic"), 1) / float64(trials)}
-		})
-		var r failRow
-		for _, v := range perTrial {
-			r.surv = v.surv // last trial's survivor count, as before
-			r.tp += v.tp
-		}
-		return r
+		return out
 	})
 	for fi, f := range fracs {
-		t.AddRow(fmt.Sprintf("%.2f", f), rows[fi].surv, rows[fi].tp)
+		surv, tp := 0, 0.0
+		for _, v := range perTrial {
+			surv = v.surv[fi] // last trial's survivor count, as before
+			tp += v.tp[fi]
+		}
+		t.AddRow(fmt.Sprintf("%.2f", f), surv, tp)
 	}
 	t.Notes = append(t.Notes, "graceful degradation extends from links (Fig. 8) to whole switches")
 	return t
@@ -313,18 +340,33 @@ func AblationHotspot(opt Options) *Table {
 	}
 	fracs := []float64{0, 0.1, 0.2, 0.4}
 	w := opt.workers()
-	tps := parallel.Map(w, len(fracs), func(fi int) float64 {
-		f := fracs[fi]
-		return parallel.SumFloat64(w, trials, func(i int) float64 {
-			tsrc := src.SplitN(fmt.Sprintf("f%.1f", f), i)
-			top := topology.Jellyfish(n, ports, deg, tsrc.Split("topo"))
-			pat := traffic.Hotspot(top.ServerSwitches(), 0, f, tsrc.Split("traffic"))
-			res := mcf.MaxConcurrentFlow(top.Graph, pat.Commodities(), mcf.Options{Workers: 1})
-			return metrics.Clamp01(res.Lambda) / float64(trials)
-		})
+	// Each trial sweeps the hot fraction on one fixed topology — the pure
+	// commodity-perturbation case for the solver's warm starts: the graph
+	// (and so the solver's arc arrays) is reused unchanged across the
+	// sweep, only the demand set shifts toward the hot rack.
+	perTrial := parallel.Map(w, trials, func(i int) []float64 {
+		tsrc := src.SplitN("trial", i)
+		top := topology.Jellyfish(n, ports, deg, tsrc.Split("topo"))
+		sv := mcf.NewSolver(mcf.Options{Workers: 1})
+		var st *mcf.State
+		out := make([]float64, len(fracs))
+		for fi, f := range fracs {
+			pat := traffic.Hotspot(top.ServerSwitches(), 0, f, tsrc.SplitN("traffic", fi))
+			if opt.ColdStart {
+				st = nil
+			}
+			var res mcf.Result
+			res, st = sv.Solve(top.Graph, pat.Commodities(), st)
+			out[fi] = metrics.Clamp01(res.Lambda) / float64(trials)
+		}
+		return out
 	})
 	for fi, f := range fracs {
-		t.AddRow(fmt.Sprintf("%.1f", f), tps[fi])
+		tp := 0.0
+		for _, v := range perTrial {
+			tp += v[fi]
+		}
+		t.AddRow(fmt.Sprintf("%.1f", f), tp)
 	}
 	t.Notes = append(t.Notes, "concurrent throughput is pinned by the hot rack ingress capacity (r links vs hot demand); the rest of the fabric is unaffected")
 	return t

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jellyfish/internal/bisection"
+	"jellyfish/internal/capsearch"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/metrics"
 	"jellyfish/internal/parallel"
@@ -30,16 +31,9 @@ func meanMCFThroughput(t *topology.Topology, src *rng.Source, trials, workers in
 	}) / float64(trials)
 }
 
-// supportsFull reports whether the topology serves `trials` permutations at
-// full rate (λ ≥ 1−slack). Trials run concurrently; the answer is the AND
-// of independent per-trial results, so it is worker-count independent.
-func supportsFull(t *topology.Topology, src *rng.Source, trials, workers int) bool {
-	const slack = 0.03
-	return parallel.All(workers, trials, func(i int) bool {
-		pat := traffic.RandomPermutation(t.ServerSwitches(), src.SplitN("feas", i))
-		return mcf.FeasibleAtFull(t.Graph, pat.Commodities(), mcf.Options{Workers: 1}, slack)
-	})
-}
+// fullThroughputSlack absorbs the flow solver's approximation tolerance
+// in every "supports full rate" test (λ ≥ 1−slack accepts).
+const fullThroughputSlack = 0.03
 
 // spread builds a Jellyfish with servers spread evenly over switches.
 func spread(switches, ports, servers int, src *rng.Source) *topology.Topology {
@@ -224,7 +218,11 @@ func Fig2cServersAtFullThroughput(opt Options) *Table {
 		Columns: []string{"k", "total_ports", "ft_servers", "jf_servers", "improvement"},
 	}
 	// Each switch size runs its own binary search concurrently; the search
-	// itself is sequential but every feasibility probe fans its trials out.
+	// itself is sequential but every feasibility probe fans its trials
+	// out. Probes draw from an incremental topology family and thread
+	// warm solver state between adjacent points in probe order
+	// (capsearch; Options.ColdStart solves every probe from scratch on
+	// the same instances).
 	type kRow struct {
 		ports, ftServers, jfServers int
 	}
@@ -234,14 +232,19 @@ func Fig2cServersAtFullThroughput(opt Options) *Table {
 		switches := ft.NumSwitches()
 		ftServers := ft.NumServers()
 		ksrc := src.Split(fmt.Sprintf("k%d", k))
-		feasible := func(servers int) bool {
-			if servers > switches*(k-1) {
-				return false
-			}
-			jf := spread(switches, k, servers, ksrc.SplitN("topo", servers))
-			return supportsFull(jf, ksrc.SplitN("traffic", servers), trials, opt.workers())
-		}
-		jfServers := maxServersFullCapacity(ftServers, switches*(k-1), feasible)
+		jfServers := capsearch.MaxServers(capsearch.Config{
+			Lo:      ftServers,
+			Hi:      switches * (k - 1),
+			Family:  capsearch.NewFamily(spread(switches, k, ftServers, ksrc.SplitN("topo", ftServers)), ksrc.Split("grow")),
+			Traffic: ksrc.Split("traffic"),
+			Trials:  trials,
+			Slack:   fullThroughputSlack,
+			// The switch sizes already fan out across cores (the
+			// parallel.Map above); keep each probe's solver serial so the
+			// goroutine count stays ~workers rather than workers².
+			Workers: 1,
+			Cold:    opt.ColdStart,
+		})
 		return kRow{ft.TotalPorts(), ftServers, jfServers}
 	})
 	for i, k := range ks {

@@ -23,9 +23,11 @@ func renderWith(t *testing.T, id string, workers int) string {
 // regardless of worker count. The chosen experiments cover all three
 // concurrent layers — fig10 drives the batched MCF solver plus kSP
 // routing and the flow simulator, fig9 drives the ECMP/kSP route-table
-// fan-out, and table1 drives the per-trial experiment fan-out.
+// fan-out, and table1 drives the per-trial experiment fan-out —
+// plus ablation-hotspot, whose per-trial warm-start chains must also be
+// scheduling-independent.
 func TestWorkerCountDeterminism(t *testing.T) {
-	for _, id := range []string{"fig10", "fig9", "table1"} {
+	for _, id := range []string{"fig10", "fig9", "table1", "ablation-hotspot"} {
 		serial := renderWith(t, id, 1)
 		for _, w := range []int{4, 8} {
 			if got := renderWith(t, id, w); got != serial {
@@ -40,5 +42,37 @@ func TestWorkerCountDeterminism(t *testing.T) {
 func TestWorkersZeroMeansAllCores(t *testing.T) {
 	if got := renderWith(t, "fig9", 0); got != renderWith(t, "fig9", 1) {
 		t.Fatal("Workers=0 output differs from serial output")
+	}
+}
+
+// The warm-start A/B guarantee (the RNG-reseeding audit's regression
+// test): Options.ColdStart may change solver seeding only — never which
+// topologies are built, which switches fail, or which traffic is drawn.
+// The switch-failure sweep exposes its instances through solver-
+// independent table columns (surviving server counts), which must be
+// byte-identical across the flag; throughputs may differ only within the
+// solver's certificate tolerance.
+func TestColdStartPreservesRandomStreams(t *testing.T) {
+	render := func(cold bool) *Table {
+		return AblationSwitchFailures(Options{Seed: 42, Quick: true, Workers: 1, ColdStart: cold})
+	}
+	warm, cold := render(false), render(true)
+	if len(warm.Rows) != len(cold.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(warm.Rows), len(cold.Rows))
+	}
+	for i := range warm.Rows {
+		// Columns: fail_frac, surviving_servers, throughput.
+		if warm.Rows[i][0] != cold.Rows[i][0] || warm.Rows[i][1] != cold.Rows[i][1] {
+			t.Fatalf("row %d instance columns diverged: warm %v vs cold %v — ColdStart changed a random stream", i, warm.Rows[i], cold.Rows[i])
+		}
+		w := parseFloat(t, warm.Rows[i][2])
+		c := parseFloat(t, cold.Rows[i][2])
+		lo, hi := w, c
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 0 && (hi-lo)/hi > 0.12 {
+			t.Fatalf("row %d throughput %v (warm) vs %v (cold) beyond solver tolerance", i, w, c)
+		}
 	}
 }

@@ -27,7 +27,7 @@ package mcf
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"jellyfish/internal/graph"
 	"jellyfish/internal/parallel"
@@ -148,7 +148,23 @@ type solver struct {
 	earlyAccept float64 // accept once certified lambda >= this (0 = off)
 	earlyReject float64 // reject once upper bound < this (0 = off)
 
+	// warmed is set when seedWarm installed a carried-over length function;
+	// it schedules an extra exact dual refresh at phase 1 (the warmed
+	// lengths usually certify a near-tight upper bound immediately, which
+	// is what makes early rejection cheap on warm starts).
+	warmed bool
+	// restart enables the one-shot primal restart (see run); set for
+	// solves made through a Solver handle.
+	restart bool
+
 	workers int
+
+	// reusable grouping scratch (see groupCommodities): commIdx is the
+	// counting-sorted commodity order that bySrc views slice into, dstFlat
+	// the backing for dstsBySrc, srcCount the per-node counters/offsets.
+	commIdx  []int
+	dstFlat  []int32
+	srcCount []int32
 
 	// reusable hot-path state: scratch[i] serves batch slot i during
 	// phases and worker i during dual refreshes (never both at once);
@@ -161,6 +177,11 @@ type solver struct {
 	batchStart int
 	sweepFn    func(i int)
 	dualFn     func(worker, gi int)
+
+	// bestFlow snapshots the (already feasibility-scaled) flow certifying
+	// bestLB in restart-capable runs, where the live flow may be dropped
+	// after the certificate was taken (see run).
+	bestFlow []float64
 
 	// phaseAlpha is Σ_i demand_i · dist(src_i, dst_i) read off the phase's
 	// own batch trees — the ingredient of the free per-phase dual bound
@@ -193,35 +214,120 @@ const sourceBatch = 4
 const dualRefreshEvery = 8
 
 func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
-	var eff []Commodity
-	for _, c := range comms {
-		if c.Src != c.Dst && c.Demand > 0 {
-			eff = append(eff, c)
-		}
-	}
-	if len(eff) == 0 {
+	s := &solver{}
+	if !s.init(g, comms, opt) {
 		return nil
 	}
-	edges := g.Edges()
-	m := len(edges)
-	n := g.N()
-	s := &solver{
-		g:       g,
-		opt:     opt,
-		n:       n,
-		edges:   edges,
-		arcTo:   make([]int32, 2*m),
-		arcCap:  opt.LinkCapacity,
-		comms:   eff,
-		length:  make([]float64, 2*m),
-		flow:    make([]float64, 2*m),
-		epsilon: opt.Epsilon,
-		workers: parallel.Workers(opt.Workers),
+	return s
+}
+
+// init (re)builds the solver for one instance. A zero solver initializes
+// from scratch; a solver that already ran keeps every backing array whose
+// capacity still fits, so a handle re-solving a sequence of related
+// instances (see Solver) does no steady-state topology allocations — and
+// when the edge set is unchanged it skips the CSR arc-array rebuild
+// entirely. Returns false when no effective commodities remain.
+func (s *solver) init(g *graph.Graph, comms []Commodity, opt Options) bool {
+	s.g = g
+	s.opt = opt
+	s.arcCap = opt.LinkCapacity
+	s.epsilon = opt.Epsilon
+	s.workers = parallel.Workers(opt.Workers)
+	s.earlyAccept, s.earlyReject = 0, 0
+	s.warmed = false
+	s.restart = false
+	s.demSum = 0
+	s.phaseAlpha = 0
+
+	s.comms = s.comms[:0]
+	for _, c := range comms {
+		if c.Src != c.Dst && c.Demand > 0 {
+			s.comms = append(s.comms, c)
+			s.demSum += c.Demand
+		}
 	}
-	// CSR adjacency: counting sort of arcs by tail node, preserving edge
-	// order within each node (the order the seed's per-node slices had).
-	s.csrStart = make([]int32, n+1)
-	s.csrArc = make([]int32, 2*m)
+	if len(s.comms) == 0 {
+		return false
+	}
+
+	// Topology: rebuild the CSR arc arrays only when the edge set actually
+	// changed since the previous instance (the arrays are rewritten in
+	// place; see buildArcs). Same-graph re-solves — the common case when
+	// warm-starting across perturbed commodity sets — skip this entirely.
+	edges := g.Edges()
+	if s.n != g.N() || !slices.Equal(edges, s.edges) {
+		s.buildArcs(g.N(), edges)
+	}
+	m := len(s.edges)
+
+	s.length = resizeFloat(s.length, 2*m)
+	s.flow = resizeFloat(s.flow, 2*m)
+	clear(s.flow)
+
+	s.groupCommodities()
+
+	// Scratch pool: phases index it by batch slot, dual refreshes by
+	// worker; size for whichever is larger. Entries survive re-init when
+	// the vertex count is unchanged.
+	nscratch := min(max(sourceBatch, s.workers), len(s.srcList))
+	if len(s.scratch) > 0 && len(s.scratch[0].dist) != s.n {
+		s.scratch = s.scratch[:0]
+	}
+	for len(s.scratch) < nscratch {
+		s.scratch = append(s.scratch, newSweepScratch(s.n))
+	}
+	s.dualParts = resizeFloat(s.dualParts, len(s.srcList))
+	if s.sweepFn == nil {
+		// The closures capture only the (stable) receiver, so they are
+		// built once per solver and survive re-init.
+		s.sweepFn = func(i int) {
+			gi := s.batchStart + i
+			s.sweep(s.scratch[i], s.srcList[gi], s.dstsBySrc[gi])
+		}
+		s.dualFn = func(worker, gi int) {
+			sc := s.scratch[worker]
+			s.sweep(sc, s.srcList[gi], s.dstsBySrc[gi])
+			var a float64
+			for _, ci := range s.bySrc[gi] {
+				c := s.comms[ci]
+				d := sc.distTo(int32(c.Dst))
+				if math.IsInf(d, 1) {
+					a = math.Inf(-1) // marker: disconnected commodity
+					break
+				}
+				a += c.Demand * d
+			}
+			s.dualParts[gi] = a
+		}
+	}
+
+	// Garg–Könemann initial length δ/c per arc (a warm seed, if any,
+	// overwrites this; see seedWarm).
+	mm := float64(2 * m)
+	s.delta = (1 + s.epsilon) * math.Pow((1+s.epsilon)*mm, -1/s.epsilon)
+	s.resetLengthsCold()
+	return true
+}
+
+func (s *solver) resetLengthsCold() {
+	for i := range s.length {
+		s.length[i] = s.delta / s.arcCap
+	}
+}
+
+// buildArcs (re)derives the CSR adjacency — a counting sort of arcs by
+// tail node, preserving edge order within each node — writing into the
+// solver's existing backing arrays whenever their capacity fits, so a
+// topology delta (servers added, links failed) mutates the arc arrays in
+// place instead of reallocating them.
+func (s *solver) buildArcs(n int, edges []graph.Edge) {
+	m := len(edges)
+	s.n = n
+	s.edges = edges
+	s.arcTo = resizeInt32(s.arcTo, 2*m)
+	s.csrStart = resizeInt32(s.csrStart, n+1)
+	clear(s.csrStart)
+	s.csrArc = resizeInt32(s.csrArc, 2*m)
 	for _, e := range edges {
 		s.csrStart[e.U+1]++
 		s.csrStart[e.V+1]++
@@ -229,7 +335,9 @@ func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
 	for v := 0; v < n; v++ {
 		s.csrStart[v+1] += s.csrStart[v]
 	}
-	cursor := make([]int32, n)
+	cursor := resizeInt32(s.srcCount, n) // srcCount doubles as cursor scratch
+	clear(cursor)
+	s.srcCount = cursor
 	for i, e := range edges {
 		s.arcTo[2*i] = int32(e.V)
 		s.arcTo[2*i+1] = int32(e.U)
@@ -238,69 +346,88 @@ func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
 		s.csrArc[s.csrStart[e.V]+cursor[e.V]] = int32(2*i + 1)
 		cursor[e.V]++
 	}
-	// Group commodities by source so one sweep serves many demands, and
-	// record each source's destination set as its sweep's early-exit
-	// targets (permutation traffic has ~1 destination per source, so a
-	// targeted sweep settles a small fraction of the graph).
-	bySrcMap := map[int][]int{}
-	for i, c := range eff {
-		bySrcMap[c.Src] = append(bySrcMap[c.Src], i)
-		s.demSum += c.Demand
+}
+
+// groupCommodities groups the effective commodities by source so one sweep
+// serves many demands, and records each source's destination set as its
+// sweep's early-exit targets (permutation traffic has ~1 destination per
+// source, so a targeted sweep settles a small fraction of the graph).
+// Grouping is a counting sort into reusable flat arrays: bySrc and
+// dstsBySrc are subslice views of commIdx and dstFlat, which are sized
+// up front so the views can never be invalidated by reallocation.
+func (s *solver) groupCommodities() {
+	n := s.n
+	cnt := resizeInt32(s.srcCount, n+1)
+	clear(cnt)
+	s.srcCount = cnt
+	for _, c := range s.comms {
+		cnt[c.Src+1]++
 	}
-	for src := 0; src < n; src++ {
-		list, ok := bySrcMap[src]
-		if !ok {
+	for v := 0; v < n; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	s.commIdx = resizeInt(s.commIdx, len(s.comms))
+	for i, c := range s.comms {
+		s.commIdx[cnt[c.Src]] = i
+		cnt[c.Src]++
+	}
+	// cnt[v] is now the END offset of source v's group; the start is the
+	// previous source's end (0 for v == 0).
+	s.srcList = s.srcList[:0]
+	s.bySrc = s.bySrc[:0]
+	s.dstsBySrc = s.dstsBySrc[:0]
+	if cap(s.dstFlat) < len(s.comms) {
+		s.dstFlat = make([]int32, 0, len(s.comms))
+	}
+	s.dstFlat = s.dstFlat[:0]
+	start := int32(0)
+	for v := 0; v < n; v++ {
+		end := cnt[v]
+		if end == start {
 			continue
 		}
-		s.srcList = append(s.srcList, int32(src))
+		list := s.commIdx[start:end]
+		s.srcList = append(s.srcList, int32(v))
 		s.bySrc = append(s.bySrc, list)
-		dsts := make([]int32, 0, len(list))
+		dstStart := len(s.dstFlat)
 		for _, ci := range list {
-			dsts = append(dsts, int32(eff[ci].Dst))
+			s.dstFlat = append(s.dstFlat, int32(s.comms[ci].Dst))
 		}
-		sort.Slice(dsts, func(a, b int) bool { return dsts[a] < dsts[b] })
-		uniq := dsts[:0]
-		for i, d := range dsts {
+		seg := s.dstFlat[dstStart:]
+		slices.Sort(seg)
+		uniq := seg[:0]
+		for i, d := range seg {
 			if i == 0 || d != uniq[len(uniq)-1] {
 				uniq = append(uniq, d)
 			}
 		}
-		s.dstsBySrc = append(s.dstsBySrc, uniq)
+		s.dstFlat = s.dstFlat[:dstStart+len(uniq)]
+		s.dstsBySrc = append(s.dstsBySrc, s.dstFlat[dstStart:])
+		start = end
 	}
-	// Scratch pool: phases index it by batch slot, dual refreshes by
-	// worker; size for whichever is larger.
-	nscratch := min(max(sourceBatch, s.workers), len(s.srcList))
-	s.scratch = make([]*sweepScratch, nscratch)
-	for i := range s.scratch {
-		s.scratch[i] = newSweepScratch(n)
+}
+
+// resizeFloat returns a slice of length n, reusing buf's backing array
+// when its capacity allows. Contents are unspecified.
+func resizeFloat(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
 	}
-	s.dualParts = make([]float64, len(s.srcList))
-	s.sweepFn = func(i int) {
-		gi := s.batchStart + i
-		s.sweep(s.scratch[i], s.srcList[gi], s.dstsBySrc[gi])
+	return buf[:n]
+}
+
+func resizeInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
 	}
-	s.dualFn = func(worker, gi int) {
-		sc := s.scratch[worker]
-		s.sweep(sc, s.srcList[gi], s.dstsBySrc[gi])
-		var a float64
-		for _, ci := range s.bySrc[gi] {
-			c := s.comms[ci]
-			d := sc.distTo(int32(c.Dst))
-			if math.IsInf(d, 1) {
-				a = math.Inf(-1) // marker: disconnected commodity
-				break
-			}
-			a += c.Demand * d
-		}
-		s.dualParts[gi] = a
+	return buf[:n]
+}
+
+func resizeInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
 	}
-	// Garg–Könemann initial length δ/c per arc.
-	mm := float64(2 * m)
-	s.delta = (1 + s.epsilon) * math.Pow((1+s.epsilon)*mm, -1/s.epsilon)
-	for i := range s.length {
-		s.length[i] = s.delta / s.arcCap
-	}
-	return s
+	return buf[:n]
 }
 
 func (s *solver) run() Result {
@@ -311,6 +438,7 @@ func (s *solver) run() Result {
 	bestLB, bestUB := 0.0, math.Inf(1)
 	phases := 0
 	routedPhases := 0.0 // fractional count of full-demand rounds routed
+	restartRhoPrev := 0.0
 	for phases < s.opt.MaxPhases {
 		phases++
 		ok := s.phase()
@@ -330,6 +458,47 @@ func (s *solver) run() Result {
 		lb := s.primalLambda(routedPhases)
 		if lb > bestLB {
 			bestLB = lb
+			// Result.ArcFlow must be the flow witnessing Result.Lambda. In
+			// a restart-capable run the live flow can be discarded after
+			// bestLB was set, so snapshot the certifying flow (scaled to
+			// feasibility here, so the exit path returns it as-is) whenever
+			// the certificate improves. Plain cold runs keep the historical
+			// exit-time scaling: their flow only ever grows.
+			if s.restart {
+				s.bestFlow = resizeFloat(s.bestFlow, len(s.flow))
+				scale := 1.0
+				if rho := s.maxOveruse(); rho > 0 {
+					scale = 1 / rho
+				}
+				for i, f := range s.flow {
+					s.bestFlow[i] = f * scale
+				}
+			}
+		}
+		// Primal restart: the certified fraction routedPhases/overuse
+		// charges the early phases' misrouting (greedy routing under
+		// still-uninformed lengths) against every later round. Every
+		// restartWindow phases, compare the marginal quality of recent
+		// routing (window / overuse added in the window) with the
+		// certified average: once recent rounds route restartMargin
+		// better than the lifetime average, drop the burn-in flow and
+		// count afresh — the post-restart certificate climbs at the
+		// marginal rate instead of dragging the burn-in forever. Any
+		// feasible flow certifies, so discarding flow is always sound;
+		// bestLB keeps the pre-restart certificate. The trigger reads
+		// solver state only (worker-count invariant), and the margin
+		// makes restarts self-limiting: once the average catches up with
+		// the marginal rate no further restart fires.
+		if s.restart && phases%restartWindow == 0 {
+			rho := s.maxOveruse()
+			if drho := rho - restartRhoPrev; drho > 0 {
+				if marginal := restartWindow / drho; marginal > bestLB*restartMargin {
+					clear(s.flow)
+					routedPhases = 0
+					rho = 0
+				}
+			}
+			restartRhoPrev = rho
 		}
 		// Free per-phase dual bound: each source's batch-tree distances were
 		// computed under lengths ≤ the end-of-phase lengths l (lengths only
@@ -343,8 +512,11 @@ func (s *solver) run() Result {
 		// The exact dual certificate costs a full sweep set — as much as a
 		// phase — so refresh it sparsely, just often enough to close the
 		// intra-phase slack the free bound carries. Certificates stay valid
-		// at any cadence: any length function bounds the optimum.
-		if phases == 2 || phases%dualRefreshEvery == 0 {
+		// at any cadence: any length function bounds the optimum. Warm
+		// starts add a refresh at phase 1: the carried-over lengths usually
+		// certify a near-tight bound before any routing happens, which is
+		// what lets an infeasible probe reject after a single phase.
+		if phases == 2 || phases%dualRefreshEvery == 0 || (s.warmed && phases == 1) {
 			if ub := s.dualBound(); ub < bestUB {
 				bestUB = ub
 			}
@@ -358,23 +530,35 @@ func (s *solver) run() Result {
 		if bestLB > 0 && (bestUB-bestLB)/bestUB <= s.opt.Tol {
 			break
 		}
-		if s.volume() >= 1 && bestLB > 0 {
+		if s.volume() >= 1 && bestLB > 0 && !(s.restart && s.earlyAccept > 0) {
 			// Canonical GK termination; certificates already computed.
+			// Handle-driven feasibility runs skip this loose exit: their
+			// warm seeds start near volume 1 (so a 2×Tol exit here would
+			// systematically weaken the primal certificate right at the
+			// accept threshold), and the primal restart makes reaching
+			// the primary Tol gap cheap. Plain solves keep it — the
+			// canonical cost/quality point — warm or not.
 			if (bestUB-bestLB)/bestUB <= 2*s.opt.Tol {
 				break
 			}
 		}
 	}
-	rho := s.maxOveruse()
-	scale := 1.0
-	if rho > 0 {
-		scale = 1 / rho
+	arcFlow := func() []float64 {
+		if s.restart && bestLB > 0 {
+			return append([]float64(nil), s.bestFlow...)
+		}
+		rho := s.maxOveruse()
+		scale := 1.0
+		if rho > 0 {
+			scale = 1 / rho
+		}
+		return s.scaledFlow(scale)
 	}
 	return Result{
 		Lambda:     bestLB,
 		UpperBound: bestUB,
 		Phases:     phases,
-		ArcFlow:    s.scaledFlow(scale),
+		ArcFlow:    arcFlow(),
 		Edges:      s.edges,
 	}
 }

@@ -275,12 +275,7 @@ func FailRandomSwitches(t *Topology, frac float64, src *rng.Source) []int {
 	kill := int(frac * float64(n))
 	perm := src.Perm(n)
 	failed := append([]int(nil), perm[:kill]...)
-	for _, sw := range failed {
-		for _, v := range append([]int(nil), t.Graph.Neighbors(sw)...) {
-			t.Graph.RemoveEdge(sw, v)
-		}
-		t.Servers[sw] = 0
-	}
+	FailSwitches(t, failed)
 	sort.Ints(failed)
 	return failed
 }

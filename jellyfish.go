@@ -41,11 +41,25 @@
 // results. The flow solver's kernel — the sweep behind every capacity
 // number — runs with zero steady-state allocations (DESIGN.md §5;
 // measured trajectory in BENCH_mcf.json).
+//
+// # Incremental solving
+//
+// Capacity searches and sweeps solve sequences of nearly identical flow
+// instances, and the stack exploits that (DESIGN.md §9): the solver is a
+// reusable handle whose converged length function warm-starts the next
+// related solve (falling back to a cold start when instances diverge),
+// searched topologies grow one server at a time so adjacent probes share
+// almost every cable, and the binary searches thread warm state between
+// probes in deterministic order — measured ≥2× wall-clock on the
+// Fig. 2(c)-style search (BENCH_mcf.json). CapacitySearch exposes the
+// knobs, including the ColdStart A/B lever; WhatIfEvaluator (ops.go)
+// gives operators the same warm chain for what-if scenario sequences.
 package jellyfish
 
 import (
 	"fmt"
 
+	"jellyfish/internal/capsearch"
 	"jellyfish/internal/graph"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/metrics"
@@ -152,31 +166,66 @@ func SupportsFullThroughput(t *Topology, trials int, slack float64, seed uint64,
 // spread as evenly as possible across switches. Returns 0 if not even one
 // server per switch is supportable (degenerate inventories can leave the
 // network disconnected or bottlenecked below NIC rate).
+//
+// The search is incremental end to end (DESIGN.md §9): probed topologies
+// come from one canonical family grown a server at a time — adjacent
+// probes share almost every cable, as the paper's Fig. 6 shows is
+// capacity-neutral — and the flow solver warm-starts each probe from the
+// previous one's solution, with per-trial state chains advanced in
+// deterministic probe order. Use CapacitySearch to tune the knobs
+// (including ColdStart for the from-scratch baseline).
 func MaxServersAtFullThroughput(switches, ports, trials int, seed uint64) int {
-	lo, hi := switches, switches*(ports-1)
-	// The search maintains "lo is feasible" as its invariant, so verify it
-	// before trusting it: an unchecked lo would be reported as supported
-	// even when no server count is.
-	if !buildAndCheck(switches, ports, lo, trials, seed) {
-		return 0
+	return CapacitySearch{Switches: switches, Ports: ports, Trials: trials, Seed: seed}.Run()
+}
+
+// trafficSeedOffset decorrelates the traffic streams of a capacity search
+// from its topology streams (the historical constant, kept so results are
+// comparable across versions).
+const trafficSeedOffset = 0x5f5e100
+
+// CapacitySearch configures a Fig. 2(c)-style capacity search. The zero
+// value of the optional knobs selects the MaxServersAtFullThroughput
+// behavior: slack 0.03, warm-started incremental probing, all cores.
+type CapacitySearch struct {
+	Switches, Ports int
+	// Trials is the number of independent permutation matrices every
+	// probed server count must support (default 3).
+	Trials int
+	// Slack absorbs the flow solver's approximation tolerance
+	// (default 0.03).
+	Slack float64
+	Seed  uint64
+	// Workers bounds the flow solver's CPU parallelism within each probe
+	// solve (0 = all cores). Probes and their trials run sequentially so
+	// warm state threads deterministically; the result is identical for
+	// every worker count.
+	Workers int
+	// ColdStart disables the solver's warm-start threading, solving every
+	// probe from scratch on the same instances and random streams — the
+	// A/B switch used by the regression benchmarks and tests.
+	ColdStart bool
+}
+
+// Run executes the search and returns the largest supported server count
+// (0 if even one server per switch is unsupportable).
+func (c CapacitySearch) Run() int {
+	if c.Trials <= 0 {
+		c.Trials = 3
 	}
-	// Find an infeasible upper bound first.
-	for hi > lo {
-		if !buildAndCheck(switches, ports, hi, trials, seed) {
-			break
-		}
-		lo = hi
-		hi *= 2
+	if c.Slack <= 0 {
+		c.Slack = 0.03
 	}
-	for lo < hi-1 {
-		mid := (lo + hi) / 2
-		if buildAndCheck(switches, ports, mid, trials, seed) {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	lo, hi := c.Switches, c.Switches*(c.Ports-1)
+	return capsearch.MaxServers(capsearch.Config{
+		Lo:      lo,
+		Hi:      hi,
+		Family:  capsearch.NewFamily(SpreadServers(c.Switches, c.Ports, lo, c.Seed), rng.New(c.Seed).Split("grow")),
+		Traffic: rng.New(c.Seed + trafficSeedOffset),
+		Trials:  c.Trials,
+		Slack:   c.Slack,
+		Workers: c.Workers,
+		Cold:    c.ColdStart,
+	})
 }
 
 // SpreadServers builds a Jellyfish with exactly `servers` servers spread
@@ -199,14 +248,6 @@ func SpreadServers(switches, ports, servers int, seed uint64) *Topology {
 		}
 	}
 	return topology.JellyfishHeterogeneous(portsPer, serversPer, rng.New(seed))
-}
-
-func buildAndCheck(switches, ports, servers, trials int, seed uint64) bool {
-	if servers > switches*(ports-1) {
-		return false
-	}
-	t := SpreadServers(switches, ports, servers, seed)
-	return SupportsFullThroughput(t, trials, 0.03, seed+0x5f5e100)
 }
 
 // MeanPathLength returns the mean inter-switch shortest path length over

@@ -5,9 +5,12 @@ import (
 
 	"jellyfish/internal/graph"
 	"jellyfish/internal/maxflow"
+	"jellyfish/internal/mcf"
+	"jellyfish/internal/metrics"
 	"jellyfish/internal/placement"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
+	"jellyfish/internal/traffic"
 )
 
 // Operational tooling: blueprints, rewiring plans, miswiring handling, and
@@ -66,3 +69,43 @@ func ExpansionQuality(t *Topology, r int) (lambda2, optimum float64) {
 // some pair of switches. A healthy Jellyfish has none (it is r-connected);
 // after heavy failures this is the repair-priority list.
 func CriticalLinks(t *Topology) []Edge { return t.Graph.Bridges() }
+
+// A WhatIfEvaluator scores sequences of related what-if scenarios —
+// failures, repairs, expansions, re-balancing — with optimal-routing
+// throughput, warm-starting each evaluation from the previous scenario's
+// flow-solver solution (DESIGN.md §9). Scenario sequences an operator
+// explores are exactly the related-instance chains the incremental solver
+// feeds on: each step perturbs a few cables or a few commodities, so most
+// of the converged solver state carries over. Evaluations through one
+// handle are deterministic: the same scenario sequence yields the same
+// numbers on any worker count, and every number carries the solver's
+// usual primal/dual accuracy guarantee.
+//
+// A WhatIfEvaluator is not safe for concurrent use; evaluate a sequence
+// from one goroutine (use separate evaluators for independent sequences).
+type WhatIfEvaluator struct {
+	sv *mcf.Solver
+	st *mcf.State
+}
+
+// NewWhatIfEvaluator returns a reusable evaluator. workers bounds the
+// flow solver's CPU parallelism per evaluation (0 = all cores).
+func NewWhatIfEvaluator(workers int) *WhatIfEvaluator {
+	return &WhatIfEvaluator{sv: mcf.NewSolver(mcf.Options{Workers: workers})}
+}
+
+// OptimalThroughput is jellyfish.OptimalThroughput evaluated through the
+// handle: identical traffic derivation and accuracy, but warm-started
+// from the previous evaluation when the topologies are related (an
+// unrelated topology falls back to a cold solve automatically).
+func (e *WhatIfEvaluator) OptimalThroughput(t *Topology, seed uint64) float64 {
+	pat := traffic.RandomPermutation(t.ServerSwitches(), rng.New(seed).Split("traffic"))
+	var res mcf.Result
+	res, e.st = e.sv.Solve(t.Graph, pat.Commodities(), e.st)
+	return metrics.Clamp01(res.Lambda)
+}
+
+// Reset drops the carried solver state, forcing the next evaluation to
+// start cold (useful when switching to an unrelated network, though the
+// solver's own overlap check would catch that too).
+func (e *WhatIfEvaluator) Reset() { e.st = nil }
