@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"jellyfish/internal/capsearch"
 	"jellyfish/internal/experiments"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/rng"
@@ -203,7 +204,7 @@ func benchMaxServersSearch(b *testing.B, cold bool) {
 	switches := 5 * k * k / 4
 	var res int
 	for i := 0; i < b.N; i++ {
-		res = CapacitySearch{Switches: switches, Ports: k, Trials: 3, Seed: 13, ColdStart: cold}.Run()
+		res, _ = CapacitySearch{Switches: switches, Ports: k, Trials: 3, Seed: 13, ColdStart: cold}.Run()
 	}
 	b.ReportMetric(float64(res), "servers")
 }
@@ -225,7 +226,7 @@ func BenchmarkMaxServersSearchPR2(b *testing.B) {
 			return false
 		}
 		t := SpreadServers(switches, k, servers, seed)
-		return SupportsFullThroughput(t, 3, 0.03, seed+trafficSeedOffset)
+		return SupportsFullThroughput(t, 3, 0.03, seed+capsearch.TrafficSeedOffset)
 	}
 	var res int
 	for i := 0; i < b.N; i++ {

@@ -25,15 +25,30 @@
 //
 // Re-baseline by editing those numbers in the same commit that makes a
 // deliberate performance trade (the diff then documents the regression).
+//
+// # Fold mode
+//
+// With -bench-file the gate is skipped and the measurements are instead
+// folded into the budget file's "multicore" section — the one-command
+// workflow for refreshing BENCH_mcf.json from CI's bench-multicore
+// artifact (download it from the Actions run, then):
+//
+//	go run ./cmd/benchgate -bench-file bench-multicore.txt -budget BENCH_mcf.json
+//
+// Every other top-level section of the budget file is preserved
+// byte-for-byte, in its original order; only "multicore" is replaced
+// (or appended). Commit the refreshed file on its own.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,7 +75,15 @@ var metricUnits = map[string]string{
 func main() {
 	budgetPath := flag.String("budget", "BENCH_mcf.json", "budget JSON (ci_budget section)")
 	input := flag.String("input", "", "bench output file (default: stdin)")
+	benchFile := flag.String("bench-file", "", "fold mode: parse this bench output (e.g. the downloaded bench-multicore artifact) and write its numbers into the budget file's \"multicore\" section instead of gating")
 	flag.Parse()
+
+	if *benchFile != "" {
+		if err := fold(*budgetPath, *benchFile); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	raw, err := os.ReadFile(*budgetPath)
 	if err != nil {
@@ -183,6 +206,161 @@ func parseBench(r io.Reader) map[string]map[string]float64 {
 		}
 	}
 	return out
+}
+
+// multicoreSection is the shape written under the budget file's
+// "multicore" key by fold mode. Benchmarks use the same metric keys as
+// ci_budget ("ns_per_op", "bytes_per_op", "allocs_per_op") so a number
+// can be promoted into a budget by copy-paste.
+type multicoreSection struct {
+	Source     string                        `json:"source"`
+	Gomaxprocs int                           `json:"gomaxprocs,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// fold rewrites budgetPath so that its top-level "multicore" section
+// holds the measurements parsed from benchPath (the downloaded
+// bench-multicore artifact). All other top-level sections pass through
+// byte-for-byte in their original order, so a fold produces a minimal,
+// reviewable diff.
+func fold(budgetPath, benchPath string) error {
+	benchRaw, err := os.ReadFile(benchPath)
+	if err != nil {
+		return fmt.Errorf("read bench file: %w", err)
+	}
+	measured := parseBench(bytes.NewReader(benchRaw))
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", benchPath)
+	}
+	budgetRaw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return fmt.Errorf("read budget: %w", err)
+	}
+	out, err := foldInto(budgetRaw, measured, benchProcs(benchRaw), filepath.Base(benchPath))
+	if err != nil {
+		return fmt.Errorf("fold into %s: %w", budgetPath, err)
+	}
+	if err := os.WriteFile(budgetPath, out, 0o644); err != nil {
+		return fmt.Errorf("write budget: %w", err)
+	}
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchgate: folded %d benchmark(s) from %s into %s \"multicore\":\n",
+		len(names), benchPath, budgetPath)
+	for _, name := range names {
+		fmt.Printf("  %s\n", name)
+	}
+	return nil
+}
+
+// foldInto performs the pure part of fold: splice a freshly built
+// "multicore" section into the budget JSON, leaving every other
+// top-level section untouched (replace in place, or append when the
+// section does not exist yet).
+func foldInto(budget []byte, measured map[string]map[string]float64, procs int, benchFile string) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(budget))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return nil, fmt.Errorf("budget is not a JSON object")
+	}
+	type section struct {
+		key string
+		raw json.RawMessage
+	}
+	var sections []section
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("read section key: %w", err)
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return nil, fmt.Errorf("unexpected token %v for section key", keyTok)
+		}
+		// json.RawMessage keeps the value's original bytes, internal
+		// indentation included, which is what makes the untouched
+		// sections survive the round trip verbatim.
+		var val json.RawMessage
+		if err := dec.Decode(&val); err != nil {
+			return nil, fmt.Errorf("section %q: %w", key, err)
+		}
+		sections = append(sections, section{key, val})
+	}
+
+	mc := multicoreSection{
+		Source:     fmt.Sprintf("folded from %s by cmd/benchgate -bench-file", benchFile),
+		Gomaxprocs: procs,
+		Benchmarks: map[string]map[string]float64{},
+	}
+	for name, byUnit := range measured {
+		metrics := map[string]float64{}
+		for key, unit := range metricUnits {
+			if v, ok := byUnit[unit]; ok {
+				metrics[key] = v
+			}
+		}
+		if len(metrics) > 0 {
+			mc.Benchmarks[name] = metrics
+		}
+	}
+	mcRaw, err := json.MarshalIndent(mc, "  ", "  ")
+	if err != nil {
+		return nil, err
+	}
+
+	replaced := false
+	for i := range sections {
+		if sections[i].key == "multicore" {
+			sections[i].raw = mcRaw
+			replaced = true
+		}
+	}
+	if !replaced {
+		sections = append(sections, section{"multicore", mcRaw})
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, s := range sections {
+		fmt.Fprintf(&buf, "  %q: %s", s.key, s.raw)
+		if i < len(sections)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	return buf.Bytes(), nil
+}
+
+// benchProcs extracts the GOMAXPROCS suffix shared by the benchmark
+// lines ("BenchmarkFoo-4" → 4). Returns 0 when absent or inconsistent,
+// in which case the field is omitted from the folded section.
+func benchProcs(benchOutput []byte) int {
+	procs := 0
+	sc := bufio.NewScanner(bytes.NewReader(benchOutput))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		i := strings.LastIndex(fields[0], "-")
+		if i < 0 {
+			return 0
+		}
+		n, err := strconv.Atoi(fields[0][i+1:])
+		if err != nil {
+			return 0
+		}
+		if procs == 0 {
+			procs = n
+		} else if procs != n {
+			return 0
+		}
+	}
+	return procs
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const foldBudget = `{
+  "benchmark": "BenchmarkMaxConcurrentFlow",
+  "environment": {
+    "cores": 1,
+    "note": "dev container"
+  },
+  "ci_budget": {
+    "tolerance_pct": 15,
+    "benchmarks": {
+      "BenchmarkMaxConcurrentFlow": {"ns_per_op": 652000000, "allocs_per_op": 611}
+    }
+  }
+}
+`
+
+const foldBench = `goos: linux
+goarch: amd64
+BenchmarkMaxConcurrentFlow-4             3   498000000 ns/op   120537 B/op   611 allocs/op
+BenchmarkMaxConcurrentFlowParallel-4     3   201000000 ns/op   130001 B/op   702 allocs/op
+PASS
+`
+
+func TestParseBenchKeepsMinimumOfRepeats(t *testing.T) {
+	out := parseBench(strings.NewReader(
+		"BenchmarkX-4 3 500 ns/op 10 allocs/op\nBenchmarkX-4 3 400 ns/op 12 allocs/op\n"))
+	m := out["BenchmarkX"]
+	if m == nil {
+		t.Fatalf("BenchmarkX missing: %v", out)
+	}
+	if m["ns/op"] != 400 || m["allocs/op"] != 10 {
+		t.Fatalf("want per-metric minimum (400 ns/op, 10 allocs/op), got %v", m)
+	}
+}
+
+func TestFoldAppendsMulticoreAndPreservesOtherSections(t *testing.T) {
+	measured := parseBench(strings.NewReader(foldBench))
+	out, err := foldInto([]byte(foldBudget), measured, benchProcs([]byte(foldBench)), "bench-multicore.txt")
+	if err != nil {
+		t.Fatalf("foldInto: %v", err)
+	}
+	got := string(out)
+
+	// Untouched sections must survive byte-for-byte, in order.
+	for _, verbatim := range []string{
+		`  "benchmark": "BenchmarkMaxConcurrentFlow",`,
+		"  \"environment\": {\n    \"cores\": 1,\n    \"note\": \"dev container\"\n  },",
+		`      "BenchmarkMaxConcurrentFlow": {"ns_per_op": 652000000, "allocs_per_op": 611}`,
+	} {
+		if !strings.Contains(got, verbatim) {
+			t.Errorf("folded output lost verbatim section fragment %q:\n%s", verbatim, got)
+		}
+	}
+	if strings.Index(got, `"benchmark"`) > strings.Index(got, `"environment"`) {
+		t.Errorf("section order not preserved:\n%s", got)
+	}
+
+	for _, want := range []string{
+		`"multicore"`,
+		`"gomaxprocs": 4`,
+		`"ns_per_op": 498000000`,
+		`"BenchmarkMaxConcurrentFlowParallel"`,
+		`folded from bench-multicore.txt`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("folded output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFoldReplacesExistingMulticoreIdempotently(t *testing.T) {
+	measured := parseBench(strings.NewReader(foldBench))
+	procs := benchProcs([]byte(foldBench))
+	once, err := foldInto([]byte(foldBudget), measured, procs, "bench-multicore.txt")
+	if err != nil {
+		t.Fatalf("first fold: %v", err)
+	}
+	twice, err := foldInto(once, measured, procs, "bench-multicore.txt")
+	if err != nil {
+		t.Fatalf("second fold: %v", err)
+	}
+	if string(once) != string(twice) {
+		t.Fatalf("fold is not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+	if n := strings.Count(string(twice), `"multicore"`); n != 1 {
+		t.Fatalf("want exactly one multicore section after refold, got %d", n)
+	}
+}
+
+func TestFoldRejectsNonObjectBudget(t *testing.T) {
+	if _, err := foldInto([]byte(`[1, 2]`), map[string]map[string]float64{}, 0, "b.txt"); err == nil {
+		t.Fatal("want error for non-object budget, got nil")
+	}
+}

@@ -61,10 +61,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-maxservers searches a jellyfish inventory; it needs -switches and -ports, not -fattree/-load")
 			os.Exit(2)
 		}
-		got := jellyfish.CapacitySearch{
+		got, err := jellyfish.CapacitySearch{
 			Switches: *switches, Ports: *ports, Trials: *trials,
 			Seed: *seed, Workers: *workers, ColdStart: *cold,
 		}.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		fmt.Printf("max servers at full throughput: %d (%d %d-port switches, %d trials/probe)\n",
 			got, *switches, *ports, *trials)
 		return

@@ -1,0 +1,82 @@
+// Command jellyfishd is the resident topology-planning service: the
+// library's planning operations served over HTTP/JSON, with a sharded
+// warm-state cache that keeps solver state hot across related requests
+// (DESIGN.md §10).
+//
+// Usage:
+//
+//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128]
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//	GET  /healthz                  liveness probe
+//	GET  /v1/stats                 scheduler and cache counters
+//	POST /v1/design                construct a Jellyfish, return stats + blueprint
+//	POST /v1/evaluate              optimal-routing throughput (random permutation)
+//	POST /v1/capacity-search       Fig. 2(c)-style max-servers search
+//	POST /v1/whatif                chain-evaluated failure/expansion scenarios
+//	POST /v1/rewire-plan           cable moves turning one topology into another
+//	POST /v1/jobs                  submit any of the above asynchronously
+//	GET  /v1/jobs                  list jobs
+//	GET  /v1/jobs/{id}             job status + result
+//	POST /v1/jobs/{id}/cancel      cancel a queued or running job
+//
+// Responses are deterministic: the same request body yields byte-identical
+// response bytes regardless of -workers, cache state, or request
+// interleaving. See examples/operations for a scripted session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jellyfish/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "shard workers (each owns a warm-state cache; any value yields identical responses)")
+	solverWorkers := flag.Int("solver-workers", 1, "CPU parallelism per flow solve; 0 = all cores when -workers is 1, otherwise 1 (many shard workers each running all-core solves would oversubscribe the machine — cross-request parallelism comes from -workers)")
+	cacheEntries := flag.Int("cache", 128, "warm-state cache entries per worker")
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		Workers:       *workers,
+		SolverWorkers: *solverWorkers,
+		CacheEntries:  *cacheEntries,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("jellyfishd listening on %s (%d workers)", *addr, *workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# A scripted operator session against a local jellyfishd (DESIGN.md §10).
+# Run from the repository root:
+#
+#	sh examples/operations/daemon_session.sh
+#
+# The same day-0/day-2 workflow main.go drives through the library,
+# spoken over HTTP/JSON instead — what a planning dashboard or a fleet
+# automation job would send. Every response here is deterministic: the
+# same request body returns byte-identical JSON no matter how many
+# -workers the daemon runs or what its caches hold, so these calls are
+# safe to retry, fan out, and diff.
+set -eu
+
+ADDR=127.0.0.1:8093
+BASE="http://$ADDR"
+
+go build -o /tmp/jellyfishd ./cmd/jellyfishd
+/tmp/jellyfishd -addr "$ADDR" -workers 4 &
+DAEMON=$!
+trap 'kill $DAEMON 2>/dev/null' EXIT INT TERM
+
+# Wait for the daemon to come up.
+for i in $(seq 1 50); do
+	curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+echo "== healthz"
+curl -fsS "$BASE/healthz"; echo
+
+# Day 0: design the network. The response carries structural stats and
+# the full cabling blueprint (same JSON WriteBlueprint emits).
+echo "== design 50x12 (networkDegree 8)"
+curl -fsS "$BASE/v1/design" -d '{"switches":50,"ports":12,"networkDegree":8,"seed":42}' |
+	head -c 200; echo " ..."
+
+# Throughput under random-permutation traffic. Naming the topology by
+# its design spec lets the daemon route this to the shard already warm
+# from the design call; an inline {"blueprint": ...} works too.
+echo "== evaluate (3 trials)"
+curl -fsS "$BASE/v1/evaluate" \
+	-d '{"topology":{"design":{"switches":50,"ports":12,"networkDegree":8,"seed":42}},"seed":9,"trials":3}'
+echo
+
+# What-if chain: drill 10% link failures, then a switch failure, then an
+# expansion by 5 racks. Steps warm-start from the previous step's solve
+# (DESIGN.md §9); re-running with a longer chain resumes from the cached
+# prefix instead of recomputing it.
+echo "== what-if chain"
+curl -fsS "$BASE/v1/whatif" -d '{
+  "base": {"design":{"switches":50,"ports":12,"networkDegree":8,"seed":42}},
+  "seed": 21,
+  "scenarios": [
+    {"failLinks": {"fraction": 0.10, "seed": 17}},
+    {"failSwitches": {"fraction": 0.05, "seed": 19}},
+    {"expand": {"switches": 5, "ports": 12, "networkDegree": 8, "seed": 11}}
+  ]}'
+echo
+
+# Heavy work goes through the job API instead of a held-open request:
+# submit a Fig. 2(c)-style capacity search, poll until it finishes.
+echo "== submit capacity-search job"
+JOB=$(curl -fsS "$BASE/v1/jobs" \
+	-d '{"type":"capacity-search","request":{"switches":20,"ports":6,"trials":1,"seed":7}}')
+echo "$JOB"
+ID=$(echo "$JOB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+while :; do
+	VIEW=$(curl -fsS "$BASE/v1/jobs/$ID")
+	case "$VIEW" in
+	*'"status":"succeeded"'* | *'"status":"failed"'* | *'"status":"cancelled"'*) break ;;
+	esac
+	sleep 0.2
+done
+echo "== job $ID finished"
+echo "$VIEW"
+echo
+
+# The sync endpoint answers the same request from the response cache —
+# byte-identical to the job's result document.
+echo "== same search, sync (cache hit)"
+curl -fsS "$BASE/v1/capacity-search" -d '{"switches":20,"ports":6,"trials":1,"seed":7}'
+echo
+
+echo "== scheduler stats"
+curl -fsS "$BASE/v1/stats"; echo

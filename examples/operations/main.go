@@ -2,6 +2,11 @@
 // blueprints, expansion rewiring plans, miswiring detection, and health
 // checks (paper §6). Everything a network operator would script against
 // this library.
+//
+// The same workflow is available over the network: daemon_session.sh in
+// this directory drives a local jellyfishd (cmd/jellyfishd) through the
+// equivalent curl session — design, evaluate, what-if chain, async
+// capacity-search job — against the HTTP/JSON API.
 package main
 
 import (

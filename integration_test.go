@@ -114,7 +114,10 @@ func TestEquipmentParityScenario(t *testing.T) {
 	}
 	// And it can carry strictly more servers at full optimal-routing
 	// capacity (binary search, 2 permutations).
-	max := MaxServersAtFullThroughput(ft.NumSwitches(), k, 2, 202)
+	max, err := MaxServersAtFullThroughput(ft.NumSwitches(), k, 2, 202)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if max <= ft.NumServers() {
 		t.Fatalf("jellyfish max %d not above fat-tree %d", max, ft.NumServers())
 	}

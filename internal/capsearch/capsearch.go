@@ -23,6 +23,7 @@
 package capsearch
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -31,6 +32,17 @@ import (
 	"jellyfish/internal/topology"
 )
 
+// TrafficSeedOffset decorrelates a capacity search's traffic streams from
+// its topology streams (the historical constant, kept so results are
+// comparable across versions). Callers that build a Config by hand — the
+// public CapacitySearch entry point and the planning service — must derive
+// Traffic as rng.New(seed + TrafficSeedOffset) to probe the same instances.
+const TrafficSeedOffset = 0x5f5e100
+
+// ErrInterrupted is returned by MaxServers when Config.Interrupt stopped
+// the search before it converged (e.g. a cancelled service job).
+var ErrInterrupted = errors.New("capsearch: search interrupted")
+
 // A Family is a canonical incremental-topology family over server counts:
 // At(servers) is the base topology grown one server at a time to the
 // requested count, with the i-th server's randomness derived from the
@@ -38,6 +50,13 @@ import (
 // its argument — probing 1080 before or after 900 yields bit-identical
 // networks — while adjacent members differ by O(delta) links, which is
 // what the solver's warm starts feed on.
+//
+// Ownership: a Family memoizes grown snapshots and is therefore NOT safe
+// for concurrent use — confine each Family to one goroutine (the planning
+// service pins one to its shard worker). Because At is pure by index,
+// sharing a Family across sequential searches is bit-identical to
+// rebuilding it per search, which is exactly what makes it a cacheable
+// warm asset: reuse changes wall-clock, never results.
 type Family struct {
 	src    *rng.Source
 	base   int
@@ -158,6 +177,12 @@ type Config struct {
 	// Solver overrides the per-trial solver options (zero value =
 	// defaults; its Workers field is superseded by Config.Workers).
 	Solver mcf.Options
+	// Interrupt, when non-nil, is polled between trial solves; returning
+	// true abandons the search (MaxServers returns ErrInterrupted). This
+	// is the cancellation hook for long-running service jobs: solves are
+	// never torn down mid-phase, so a fired interrupt costs at most one
+	// trial solve of latency and leaves all warm state coherent.
+	Interrupt func() bool
 }
 
 // MaxServers searches for the largest feasible server count in [Lo, Hi].
@@ -171,17 +196,27 @@ type Config struct {
 // and fall back to the midpoint, so the bracket always shrinks and the
 // worst case stays a bisection. The probe sequence — and with it every
 // warm chain — remains a deterministic function of the instance alone.
-func MaxServers(cfg Config) int {
+//
+// The only possible error is ErrInterrupted (Config.Interrupt fired); a
+// search without an Interrupt hook never fails.
+func MaxServers(cfg Config) (int, error) {
 	p := newProber(cfg)
-	if !p.feasible(cfg.Lo) {
-		return 0
+	ok, err := p.feasible(cfg.Lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
 	}
 	if cfg.Hi <= cfg.Lo {
-		return cfg.Lo
+		return cfg.Lo, nil
 	}
 	loGuess := p.predict()
-	if p.feasible(cfg.Hi) {
-		return cfg.Hi
+	if ok, err = p.feasible(cfg.Hi); err != nil {
+		return 0, err
+	}
+	if ok {
+		return cfg.Hi, nil
 	}
 	lo, hi := cfg.Lo, cfg.Hi
 	guess := loGuess // Hi probes are usually capacity-degenerate; prefer Lo's estimate
@@ -193,14 +228,17 @@ func MaxServers(cfg Config) int {
 		if next <= lo || next >= hi {
 			next = (lo + hi) / 2
 		}
-		if p.feasible(next) {
+		if ok, err = p.feasible(next); err != nil {
+			return 0, err
+		}
+		if ok {
 			lo = next
 		} else {
 			hi = next
 		}
 		guess = p.predict()
 	}
-	return lo
+	return lo, nil
 }
 
 // prober evaluates feasibility probes, holding one solver handle and one
@@ -234,16 +272,19 @@ func newProber(cfg Config) *prober {
 	return p
 }
 
-func (p *prober) feasible(servers int) bool {
+func (p *prober) feasible(servers int) (bool, error) {
 	top := p.cfg.Family.At(servers)
 	assign := p.cfg.Family.Assign(servers)
 	p.last = probeStats{servers: servers, links: top.NumLinks(), lb: math.Inf(1), ub: math.Inf(1)}
 	for i := 0; i < p.cfg.Trials; i++ {
+		if p.cfg.Interrupt != nil && p.cfg.Interrupt() {
+			return false, ErrInterrupted
+		}
 		if !p.trial(i, top, assign) {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // predictGapMax bounds how loose a probe's certificates may be for its λ

@@ -85,12 +85,16 @@ func TestCycleCommoditiesNested(t *testing.T) {
 // chains, probe sequence, and solver are all scheduling-independent.
 func TestMaxServersWorkerInvariance(t *testing.T) {
 	run := func(workers int) int {
-		return MaxServers(Config{
+		got, err := MaxServers(Config{
 			Lo: 20, Hi: 20 * 7,
 			Family:  testFamily(20, 8, 11),
 			Traffic: rng.New(77),
 			Trials:  2, Slack: 0.03, Workers: workers,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
 	}
 	base := run(1)
 	if base <= 0 {
@@ -117,12 +121,15 @@ func TestWarmVsColdSameInstancesAndAgreement(t *testing.T) {
 			seen[probe{servers, trial}] = st.Lambda
 		}
 		defer func() { debugProbe = nil }()
-		res := MaxServers(Config{
+		res, err := MaxServers(Config{
 			Lo: 20, Hi: 20 * 7,
 			Family:  testFamily(20, 8, 11),
 			Traffic: rng.New(77),
 			Trials:  2, Slack: 0.03, Workers: 1, Cold: cold,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return res, seen
 	}
 	coldRes, coldSeen := record(true)
@@ -167,13 +174,37 @@ func TestMaxServersInfeasibleLo(t *testing.T) {
 	// 2-port switches: the network is a perfect matching, permutation
 	// traffic across pairs is unroutable.
 	base := spreadEven(4, 2, 4, rng.New(1))
-	got := MaxServers(Config{
+	got, err := MaxServers(Config{
 		Lo: 4, Hi: 4,
 		Family:  NewFamily(base, rng.New(1).Split("grow")),
 		Traffic: rng.New(2),
 		Trials:  2, Slack: 0.03, Workers: 1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != 0 {
 		t.Fatalf("search reported %d servers on a disconnected matching, want 0", got)
+	}
+}
+
+// An Interrupt hook that fires mid-search abandons it with ErrInterrupted
+// — the cancellation path service jobs rely on. The hook fires after a
+// few trials so both the "interrupt between trials" and the propagation
+// through the bisection loop are exercised.
+func TestMaxServersInterrupt(t *testing.T) {
+	calls := 0
+	_, err := MaxServers(Config{
+		Lo: 20, Hi: 20 * 7,
+		Family:  testFamily(20, 8, 11),
+		Traffic: rng.New(77),
+		Trials:  2, Slack: 0.03, Workers: 1,
+		Interrupt: func() bool {
+			calls++
+			return calls > 3
+		},
+	})
+	if err != ErrInterrupted {
+		t.Fatalf("interrupted search returned err=%v, want ErrInterrupted", err)
 	}
 }

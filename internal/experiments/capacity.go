@@ -232,7 +232,8 @@ func Fig2cServersAtFullThroughput(opt Options) *Table {
 		switches := ft.NumSwitches()
 		ftServers := ft.NumServers()
 		ksrc := src.Split(fmt.Sprintf("k%d", k))
-		jfServers := capsearch.MaxServers(capsearch.Config{
+		// No Interrupt hook configured, so MaxServers cannot fail.
+		jfServers, _ := capsearch.MaxServers(capsearch.Config{
 			Lo:      ftServers,
 			Hi:      switches * (k - 1),
 			Family:  capsearch.NewFamily(spread(switches, k, ftServers, ksrc.SplitN("topo", ftServers)), ksrc.Split("grow")),

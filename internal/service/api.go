@@ -1,0 +1,319 @@
+// Package service implements jellyfishd, the resident topology-planning
+// service: every planning operation the library can compute — designing a
+// Jellyfish, evaluating throughput, Fig. 2(c)-style capacity searches,
+// what-if failure/expansion chains, blueprint diffs — exposed as
+// HTTP/JSON endpoints, with an async job API for the heavy sweeps.
+//
+// The core is a sharded scheduler (scheduler.go): a fixed pool of solver
+// workers, each owning a warm-state cache; requests are hashed by
+// topology-family key to a shard so related queries land on the worker
+// holding the matching warm state. Responses are deterministic — the same
+// request yields byte-identical JSON regardless of worker count, cache
+// hits, or request interleaving — because every cached value is a pure
+// function of its cache key (DESIGN.md §10).
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"jellyfish"
+)
+
+// An apiError is an error with an HTTP mapping; executors return it for
+// client mistakes (bad configs, unknown jobs) so handlers can answer with
+// the right status instead of a blanket 500.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON envelope every error response uses.
+type errorBody struct {
+	Error *apiError `json:"error"`
+}
+
+// digest is the canonical content hash used for cache keys and
+// single-flight identity: requests that decode to the same normalized
+// value collide regardless of their JSON formatting.
+func digest(parts ...[]byte) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("service: marshaling internal value: %v", err))
+	}
+	return b
+}
+
+// DesignSpec is the request-shaped jellyfish.Config.
+type DesignSpec struct {
+	Switches      int    `json:"switches"`
+	Ports         int    `json:"ports"`
+	NetworkDegree int    `json:"networkDegree"`
+	Seed          uint64 `json:"seed"`
+}
+
+func (d DesignSpec) config() jellyfish.Config {
+	return jellyfish.Config{Switches: d.Switches, Ports: d.Ports, NetworkDegree: d.NetworkDegree, Seed: d.Seed}
+}
+
+// TopologySpec names a topology in a request: either a design to
+// construct deterministically or an inline blueprint (the JSON produced
+// by WriteBlueprint / the /v1/design endpoint). Exactly one must be set.
+type TopologySpec struct {
+	Design    *DesignSpec     `json:"design,omitempty"`
+	Blueprint json.RawMessage `json:"blueprint,omitempty"`
+}
+
+// A materialized topology spec: the canonical digest (cache and shard
+// identity), the server count (for eager no-servers rejection), and a
+// deferred constructor. Deferring construction keeps it off the handler
+// goroutine: plans digest and schedule immediately, and a response-cache
+// hit never builds the topology at all. build is called at most once —
+// each plan executes at most once (hits and single-flight followers
+// reuse the leader's bytes) — and the topology it returns is owned by
+// that execution.
+type materialized struct {
+	digest  string
+	servers int
+	build   func() *jellyfish.Topology
+}
+
+// materialize validates the named topology and returns its deferred
+// form, normalizing ts in place (blueprints are re-serialized
+// canonically so formatting differences cannot split the cache).
+// Topologies with no switches — including an empty or null blueprint
+// document, which decodes without error — are rejected here: every
+// planning operation on them is undefined.
+func (ts *TopologySpec) materialize() (materialized, *apiError) {
+	switch {
+	case ts.Design != nil && ts.Blueprint == nil:
+		cfg := ts.Design.config()
+		if err := cfg.Validate(); err != nil {
+			return materialized{}, badRequest("invalid_config", "%v", err)
+		}
+		return materialized{
+			digest:  "d:" + digest(mustJSON(ts.Design)),
+			servers: cfg.Switches * (cfg.Ports - cfg.NetworkDegree),
+			build:   func() *jellyfish.Topology { return jellyfish.New(cfg) },
+		}, nil
+	case ts.Blueprint != nil && ts.Design == nil:
+		top, err := jellyfish.ReadBlueprint(bytes.NewReader(ts.Blueprint))
+		if err != nil {
+			return materialized{}, badRequest("invalid_blueprint", "%v", err)
+		}
+		if top.NumSwitches() == 0 {
+			return materialized{}, badRequest("invalid_blueprint", "blueprint describes no switches")
+		}
+		canon, aerr := canonicalBlueprint(top)
+		if aerr != nil {
+			return materialized{}, aerr
+		}
+		ts.Blueprint = canon
+		return materialized{
+			digest:  "b:" + digest(canon),
+			servers: top.NumServers(),
+			build:   func() *jellyfish.Topology { return top },
+		}, nil
+	default:
+		return materialized{}, badRequest("invalid_topology", "specify exactly one of \"design\" or \"blueprint\"")
+	}
+}
+
+// canonicalBlueprint serializes a topology to compact canonical JSON.
+func canonicalBlueprint(top *jellyfish.Topology) (json.RawMessage, *apiError) {
+	var buf bytes.Buffer
+	if err := jellyfish.WriteBlueprint(top, &buf); err != nil {
+		return nil, &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, buf.Bytes()); err != nil {
+		return nil, &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+	}
+	return compact.Bytes(), nil
+}
+
+// DesignResponse reports a constructed topology with its headline
+// structural properties and the cabling blueprint.
+type DesignResponse struct {
+	Switches  int             `json:"switches"`
+	Servers   int             `json:"servers"`
+	Links     int             `json:"links"`
+	MeanPath  float64         `json:"meanPath"`
+	Diameter  int             `json:"diameter"`
+	Blueprint json.RawMessage `json:"blueprint"`
+}
+
+// EvaluateRequest asks for optimal-routing throughput under
+// random-permutation traffic; trial i evaluates at seed+i, so trials=1
+// at seed s reproduces jellyfish.OptimalThroughput(t, s) exactly.
+type EvaluateRequest struct {
+	Topology TopologySpec `json:"topology"`
+	Seed     uint64       `json:"seed"`
+	Trials   int          `json:"trials,omitempty"`
+}
+
+type EvaluateResponse struct {
+	Throughputs []float64 `json:"throughputs"`
+	Min         float64   `json:"min"`
+	Mean        float64   `json:"mean"`
+}
+
+// CapacitySearchRequest is the request-shaped jellyfish.CapacitySearch.
+// Trials and Slack default like the library's (3 and 0.03); ColdStart is
+// the A/B lever that disables solver warm starts inside the search.
+type CapacitySearchRequest struct {
+	Switches  int     `json:"switches"`
+	Ports     int     `json:"ports"`
+	Trials    int     `json:"trials,omitempty"`
+	Slack     float64 `json:"slack,omitempty"`
+	Seed      uint64  `json:"seed"`
+	ColdStart bool    `json:"coldStart,omitempty"`
+}
+
+type CapacitySearchResponse struct {
+	MaxServers       int     `json:"maxServers"`
+	Switches         int     `json:"switches"`
+	Ports            int     `json:"ports"`
+	ServersPerSwitch float64 `json:"serversPerSwitch"`
+}
+
+// A Scenario is one what-if step applied to the preceding topology in the
+// chain. Exactly one operation must be set.
+type Scenario struct {
+	FailLinks    *FailLinksOp    `json:"failLinks,omitempty"`
+	FailSwitches *FailSwitchesOp `json:"failSwitches,omitempty"`
+	Expand       *ExpandOp       `json:"expand,omitempty"`
+}
+
+type FailLinksOp struct {
+	Fraction float64 `json:"fraction"`
+	Seed     uint64  `json:"seed"`
+}
+
+type FailSwitchesOp struct {
+	Fraction float64 `json:"fraction"`
+	Seed     uint64  `json:"seed"`
+}
+
+type ExpandOp struct {
+	Switches      int    `json:"switches"`
+	Ports         int    `json:"ports"`
+	NetworkDegree int    `json:"networkDegree"`
+	Seed          uint64 `json:"seed"`
+}
+
+// validate checks that exactly one operation is set and its parameters
+// are sensible.
+func (sc *Scenario) validate(i int) *apiError {
+	set := 0
+	if sc.FailLinks != nil {
+		set++
+		if f := sc.FailLinks.Fraction; f < 0 || f >= 1 {
+			return badRequest("invalid_scenario", "scenario %d: failLinks.fraction %v outside [0, 1)", i, f)
+		}
+	}
+	if sc.FailSwitches != nil {
+		set++
+		if f := sc.FailSwitches.Fraction; f < 0 || f >= 1 {
+			return badRequest("invalid_scenario", "scenario %d: failSwitches.fraction %v outside [0, 1)", i, f)
+		}
+	}
+	if sc.Expand != nil {
+		set++
+		e := sc.Expand
+		if e.Switches <= 0 || e.Ports <= 0 || e.NetworkDegree < 0 || e.NetworkDegree > e.Ports {
+			return badRequest("invalid_scenario", "scenario %d: expand needs switches > 0, ports > 0, and 0 <= networkDegree <= ports", i)
+		}
+	}
+	if set != 1 {
+		return badRequest("invalid_scenario", "scenario %d: exactly one of failLinks, failSwitches, expand must be set", i)
+	}
+	return nil
+}
+
+// apply mutates top in place and returns the step's description.
+func (sc *Scenario) apply(top *jellyfish.Topology) string {
+	switch {
+	case sc.FailLinks != nil:
+		n := jellyfish.FailRandomLinks(top, sc.FailLinks.Fraction, sc.FailLinks.Seed)
+		return fmt.Sprintf("failLinks(fraction=%v, seed=%d): %d links removed", sc.FailLinks.Fraction, sc.FailLinks.Seed, n)
+	case sc.FailSwitches != nil:
+		ids := jellyfish.FailRandomSwitches(top, sc.FailSwitches.Fraction, sc.FailSwitches.Seed)
+		return fmt.Sprintf("failSwitches(fraction=%v, seed=%d): %d switches failed", sc.FailSwitches.Fraction, sc.FailSwitches.Seed, len(ids))
+	default:
+		e := sc.Expand
+		jellyfish.Expand(top, e.Switches, e.Ports, e.NetworkDegree, e.Seed)
+		return fmt.Sprintf("expand(switches=%d, ports=%d, networkDegree=%d, seed=%d)", e.Switches, e.Ports, e.NetworkDegree, e.Seed)
+	}
+}
+
+// WhatIfRequest scores a scenario sequence rooted at a base topology.
+// Step i's throughput is chain-evaluated: the flow solver warm-starts
+// from step i-1's solution (DESIGN.md §9), so the sequence itself is part
+// of the request contract — the same base, seed, and scenario prefix
+// always yield the same numbers, which is what lets the service cache
+// chain prefixes without changing any response.
+type WhatIfRequest struct {
+	Base      TopologySpec `json:"base"`
+	Seed      uint64       `json:"seed"`
+	Scenarios []Scenario   `json:"scenarios"`
+}
+
+type WhatIfStep struct {
+	// Step 0 is the base topology; step i is after scenarios[i-1].
+	Step        int     `json:"step"`
+	Description string  `json:"description"`
+	Switches    int     `json:"switches"`
+	Servers     int     `json:"servers"`
+	Links       int     `json:"links"`
+	Throughput  float64 `json:"throughput"`
+}
+
+type WhatIfResponse struct {
+	Steps []WhatIfStep `json:"steps"`
+}
+
+// RewireRequest asks for the cable moves turning one topology into
+// another (§4.2/§6.2 automation).
+type RewireRequest struct {
+	Before TopologySpec `json:"before"`
+	After  TopologySpec `json:"after"`
+}
+
+type RewireResponse struct {
+	Remove [][2]int `json:"remove"`
+	Add    [][2]int `json:"add"`
+	Moves  int      `json:"moves"`
+}
+
+// StatsResponse reports scheduler and cache counters (diagnostics; not
+// covered by the determinism guarantee).
+type StatsResponse struct {
+	Workers      int   `json:"workers"`
+	ResultHits   int64 `json:"resultHits"`
+	ResultMisses int64 `json:"resultMisses"`
+	FamilyHits   int64 `json:"familyHits"`
+	ChainHits    int64 `json:"chainHits"`
+	Deduped      int64 `json:"deduped"`
+	CacheEntries int   `json:"cacheEntries"`
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// The acceptance benchmark for warm-shard routing: a repeated
+// capacity-search workload — the request stream a planning service
+// actually sees (NSLP's observation: planning workloads are streams of
+// nearly identical instances) — served by one resident service with its
+// warm-state caches, versus a cold baseline that tears the service down
+// between requests (every request pays family construction and a full
+// from-scratch search, as the one-shot CLIs do).
+//
+// The workload: 6 capacity searches over one inventory at Fig. 2(c) k=6
+// scale — 3 distinct requests (increasing trial counts, as an operator
+// tightening confidence would send), each submitted twice. Warm serving
+// answers repeats from the response cache and shares one topology family
+// across the distinct searches; the cold baseline recomputes everything.
+// Measured numbers live in BENCH_mcf.json ("service_warm_routing").
+
+var capacityWorkload = []CapacitySearchRequest{
+	{Switches: 45, Ports: 6, Trials: 1, Seed: 71},
+	{Switches: 45, Ports: 6, Trials: 2, Seed: 71},
+	{Switches: 45, Ports: 6, Trials: 1, Seed: 71},
+	{Switches: 45, Ports: 6, Trials: 3, Seed: 71},
+	{Switches: 45, Ports: 6, Trials: 2, Seed: 71},
+	{Switches: 45, Ports: 6, Trials: 3, Seed: 71},
+}
+
+func runCapacityRequest(b *testing.B, srv *Server, req CapacitySearchRequest) {
+	b.Helper()
+	p, aerr := planCapacitySearch(&req)
+	if aerr != nil {
+		b.Fatal(aerr)
+	}
+	if _, err := srv.sched.do(context.Background(), p, true, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkServiceCapacitySearchWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		srv := New(Options{Workers: 1})
+		for _, req := range capacityWorkload {
+			runCapacityRequest(b, srv, req)
+		}
+		srv.Close()
+	}
+}
+
+func BenchmarkServiceCapacitySearchCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, req := range capacityWorkload {
+			srv := New(Options{Workers: 1})
+			runCapacityRequest(b, srv, req)
+			srv.Close()
+		}
+	}
+}

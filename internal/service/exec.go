@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"jellyfish"
+	"jellyfish/internal/mcf"
+)
+
+// This file turns normalized requests into plans: the executor closures
+// that run on a shard worker with access to its warm-state cache. Every
+// cache entry written here is a pure function of its key — the property
+// the determinism guarantee rests on (DESIGN.md §10):
+//
+//   - "family:" entries memoize capacity-search topology families
+//     (jellyfish.SearchFamily), pure in the inventory;
+//   - "chain:" entries checkpoint what-if chains, keyed by the content
+//     digest of the exact (base, seed, scenario-prefix) that produced
+//     them, so resuming from one is bit-identical to replaying it;
+//   - "resp:" entries (scheduler.go) memoize finished response bytes by
+//     canonical request digest.
+
+func planDesign(spec *DesignSpec) (*plan, *apiError) {
+	ts := TopologySpec{Design: spec}
+	// Validate eagerly so bad requests fail before scheduling.
+	mat, aerr := ts.materialize()
+	if aerr != nil {
+		return nil, aerr
+	}
+	canon := mustJSON(spec)
+	return &plan{
+		family: "d:" + digest(canon),
+		key:    "design:" + digest(canon),
+		run: func(ctx context.Context, w *worker) (any, error) {
+			top := mat.build()
+			bp, aerr := canonicalBlueprint(top)
+			if aerr != nil {
+				return nil, aerr
+			}
+			stats := top.SwitchPathStats()
+			return &DesignResponse{
+				Switches:  top.NumSwitches(),
+				Servers:   top.NumServers(),
+				Links:     top.NumLinks(),
+				MeanPath:  stats.Mean,
+				Diameter:  stats.Diameter,
+				Blueprint: bp,
+			}, nil
+		},
+	}, nil
+}
+
+func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
+	if req.Trials == 0 {
+		req.Trials = 1
+	}
+	if req.Trials < 0 || req.Trials > 64 {
+		return nil, badRequest("invalid_config", "trials %d outside [1, 64]; split larger sweeps across requests (the cap applies to jobs too)", req.Trials)
+	}
+	mat, aerr := req.Topology.materialize()
+	if aerr != nil {
+		return nil, aerr
+	}
+	if mat.servers == 0 {
+		return nil, badRequest("invalid_topology", "topology has no servers; throughput is undefined")
+	}
+	canon := mustJSON(req) // materialize canonicalized inline blueprints
+	return &plan{
+		family: mat.digest,
+		key:    "evaluate:" + digest(canon),
+		run: func(ctx context.Context, w *worker) (any, error) {
+			top := mat.build()
+			resp := &EvaluateResponse{Throughputs: make([]float64, 0, req.Trials)}
+			sum := 0.0
+			for i := 0; i < req.Trials; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				lam := jellyfish.OptimalThroughput(top, req.Seed+uint64(i), w.solverWorkers)
+				resp.Throughputs = append(resp.Throughputs, lam)
+				sum += lam
+			}
+			resp.Min = slices.Min(resp.Throughputs)
+			resp.Mean = sum / float64(req.Trials)
+			return resp, nil
+		},
+	}, nil
+}
+
+func planCapacitySearch(req *CapacitySearchRequest) (*plan, *apiError) {
+	// Normalize the optional knobs to their documented defaults before
+	// digesting, so {"trials":3} and an omitted trials coalesce.
+	if req.Trials == 0 {
+		req.Trials = 3
+	}
+	if req.Slack == 0 {
+		req.Slack = 0.03
+	}
+	cs := jellyfish.CapacitySearch{
+		Switches: req.Switches, Ports: req.Ports, Trials: req.Trials,
+		Slack: req.Slack, Seed: req.Seed, ColdStart: req.ColdStart,
+	}
+	if err := cs.Validate(); err != nil {
+		return nil, badRequest("invalid_config", "%v", err)
+	}
+	canon := mustJSON(req)
+	famKey := fmt.Sprintf("family:%d:%d:%d", req.Switches, req.Ports, req.Seed)
+	return &plan{
+		family: famKey,
+		key:    "capsearch:" + digest(canon),
+		run: func(ctx context.Context, w *worker) (any, error) {
+			// The family is the search's reusable warm asset: one
+			// incrementally grown topology per inventory, shared across
+			// every search over it (bit-identical to rebuilding, because
+			// SearchFamily is pure in the inventory). The search itself is
+			// the library's: same brackets, defaults, and random streams
+			// as CapacitySearch.Run, just probing the cached family.
+			cs := cs
+			cs.Workers = w.solverWorkers
+			var fam *jellyfish.SearchFamily
+			if v, ok := w.cache.get(famKey); ok {
+				fam = v.(*jellyfish.SearchFamily)
+				w.stats.familyHits.Add(1)
+			} else {
+				var err error
+				if fam, err = cs.NewFamily(); err != nil {
+					return nil, err
+				}
+				w.cache.put(famKey, fam)
+			}
+			max, err := cs.RunOnFamily(fam, func() bool {
+				return ctx.Err() != nil
+			})
+			if err == jellyfish.ErrInterrupted {
+				return nil, ctx.Err()
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &CapacitySearchResponse{
+				MaxServers:       max,
+				Switches:         req.Switches,
+				Ports:            req.Ports,
+				ServersPerSwitch: float64(max) / float64(req.Switches),
+			}, nil
+		},
+	}, nil
+}
+
+// chainPoint is a what-if chain checkpoint: the steps evaluated so far
+// and the solver state after the last one. Both are immutable once cached
+// (steps are cloned on store and on resume; mcf.State is immutable by
+// construction), so checkpoints can be shared across requests freely.
+type chainPoint struct {
+	steps []WhatIfStep
+	st    *mcf.State
+}
+
+// chainKeys derives the checkpoint keys of a what-if chain: keys[0]
+// covers the base solve, keys[i] the chain through scenarios[i-1]. Each
+// key is a running content digest, so two requests share a key exactly
+// when they share the base, the seed, and the whole scenario prefix —
+// the condition under which their chains are bit-identical.
+func chainKeys(baseDigest string, seed uint64, scenarios []Scenario) []string {
+	keys := make([]string, len(scenarios)+1)
+	keys[0] = digest([]byte("whatif"), []byte(baseDigest), []byte(fmt.Sprint(seed)))
+	for i, sc := range scenarios {
+		keys[i+1] = digest([]byte(keys[i]), mustJSON(&sc))
+	}
+	return keys
+}
+
+func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
+	mat, aerr := req.Base.materialize()
+	if aerr != nil {
+		return nil, aerr
+	}
+	if mat.servers == 0 {
+		return nil, badRequest("invalid_topology", "base topology has no servers; throughput is undefined")
+	}
+	if len(req.Scenarios) > 128 {
+		return nil, badRequest("invalid_config", "%d scenarios exceed the per-request limit of 128; split the chain", len(req.Scenarios))
+	}
+	for i := range req.Scenarios {
+		if aerr := req.Scenarios[i].validate(i); aerr != nil {
+			return nil, aerr
+		}
+	}
+	canon := mustJSON(req)
+	keys := chainKeys(mat.digest, req.Seed, req.Scenarios)
+	return &plan{
+		family: mat.digest,
+		key:    "whatif:" + digest(canon),
+		run: func(ctx context.Context, w *worker) (any, error) {
+			// Resume from the deepest cached checkpoint of this exact
+			// chain; everything before it is bit-identical by key purity.
+			resumed := -1
+			var cp *chainPoint
+			for i := len(keys) - 1; i >= 0; i-- {
+				if v, ok := w.cache.get("chain:" + keys[i]); ok {
+					cp = v.(*chainPoint)
+					resumed = i
+					break
+				}
+			}
+			top := mat.build()
+			for i := 1; i <= resumed; i++ {
+				req.Scenarios[i-1].apply(top)
+			}
+			// A fresh evaluator per request keeps executions pure: warm
+			// value is carried by the immutable checkpoint states, never
+			// by solver buffers with cross-request history.
+			ev := jellyfish.NewWhatIfEvaluator(w.solverWorkers)
+			var steps []WhatIfStep
+			if resumed >= 0 {
+				w.stats.chainHits.Add(1)
+				steps = slices.Clone(cp.steps)
+				ev.SetState(cp.st)
+			} else {
+				lam := ev.OptimalThroughput(top, req.Seed)
+				steps = []WhatIfStep{{
+					Step: 0, Description: "base",
+					Switches: top.NumSwitches(), Servers: top.NumServers(),
+					Links: top.NumLinks(), Throughput: lam,
+				}}
+				w.cache.put("chain:"+keys[0], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
+				resumed = 0
+			}
+			for i := resumed + 1; i < len(keys); i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				desc := req.Scenarios[i-1].apply(top)
+				if top.NumServers() == 0 {
+					return nil, badRequest("invalid_scenario", "scenario %d leaves the topology with no servers; throughput is undefined", i-1)
+				}
+				lam := ev.OptimalThroughput(top, req.Seed)
+				steps = append(steps, WhatIfStep{
+					Step: i, Description: desc,
+					Switches: top.NumSwitches(), Servers: top.NumServers(),
+					Links: top.NumLinks(), Throughput: lam,
+				})
+				w.cache.put("chain:"+keys[i], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
+			}
+			return &WhatIfResponse{Steps: steps}, nil
+		},
+	}, nil
+}
+
+func planRewire(req *RewireRequest) (*plan, *apiError) {
+	matBefore, aerr := req.Before.materialize()
+	if aerr != nil {
+		return nil, aerr
+	}
+	matAfter, aerr := req.After.materialize()
+	if aerr != nil {
+		return nil, aerr
+	}
+	canon := mustJSON(req)
+	return &plan{
+		family: matBefore.digest,
+		key:    "rewire:" + digest(canon),
+		run: func(ctx context.Context, w *worker) (any, error) {
+			rp := jellyfish.PlanRewiring(matBefore.build(), matAfter.build())
+			resp := &RewireResponse{
+				Remove: make([][2]int, 0, len(rp.Remove)),
+				Add:    make([][2]int, 0, len(rp.Add)),
+				Moves:  rp.Moves(),
+			}
+			for _, e := range rp.Remove {
+				resp.Remove = append(resp.Remove, [2]int{e.U, e.V})
+			}
+			for _, e := range rp.Add {
+				resp.Add = append(resp.Add, [2]int{e.U, e.V})
+			}
+			return resp, nil
+		},
+	}, nil
+}

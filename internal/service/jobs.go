@@ -1,0 +1,275 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The async job API: heavy planning operations (capacity searches, long
+// what-if chains, multi-trial evaluations) submitted as jobs instead of
+// held-open requests. A job runs through the same scheduler as the sync
+// endpoints — same shard routing, same warm-state caches, same canonical
+// digests — so its result bytes are identical to the sync endpoint's for
+// the same request (asserted in the e2e suite). Job envelopes (ids,
+// timestamps) are bookkeeping and are NOT covered by the determinism
+// guarantee; results are.
+
+// Job states.
+const (
+	jobQueued    = "queued"
+	jobRunning   = "running"
+	jobSucceeded = "succeeded"
+	jobFailed    = "failed"
+	jobCancelled = "cancelled"
+)
+
+type job struct {
+	id  string
+	typ string
+
+	mu       sync.Mutex
+	status   string
+	result   []byte
+	err      *apiError
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID       string          `json:"id"`
+	Type     string          `json:"type"`
+	Status   string          `json:"status"`
+	Created  string          `json:"created"`
+	Started  string          `json:"started,omitempty"`
+	Finished string          `json:"finished,omitempty"`
+	Error    *apiError       `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// JobSpec is the submission body: the operation type plus the same
+// request document the matching sync endpoint accepts.
+type JobSpec struct {
+	Type    string          `json:"type"`
+	Request json.RawMessage `json:"request"`
+}
+
+// maxJobs bounds the job store of this resident daemon: past it, submit
+// evicts finished jobs oldest-first (their results were retrievable the
+// whole time; clients polling a just-finished job still have maxJobs/2
+// submissions of slack before it ages out) and, if every retained job is
+// still queued or running, rejects new submissions instead of growing
+// without bound.
+const maxJobs = 1024
+
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*job
+	// cap is maxJobs, overridable in tests.
+	cap int
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job), cap: maxJobs}
+}
+
+// submit validates the spec, plans it, and starts it asynchronously on
+// the scheduler. Validation errors surface now (HTTP 400); execution
+// errors surface on the job.
+func (js *jobStore) submit(sched *scheduler, spec *JobSpec) (*job, *apiError) {
+	p, aerr := planJob(spec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	js.mu.Lock()
+	if len(js.jobs) >= js.cap && !js.evictFinishedLocked() {
+		js.mu.Unlock()
+		cancel()
+		return nil, &apiError{Status: http.StatusTooManyRequests, Code: "job_store_full",
+			Message: fmt.Sprintf("all %d retained jobs are still queued or running; retry after some finish or cancel", len(js.jobs))}
+	}
+	js.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", js.seq),
+		typ:     spec.Type,
+		status:  jobQueued,
+		created: time.Now().UTC(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	js.jobs[j.id] = j
+	js.mu.Unlock()
+
+	go func() {
+		defer close(j.done)
+		// Jobs skip single-flight (each has its own cancellation scope)
+		// but still hit the response cache on the worker.
+		resp, err := sched.do(ctx, p, false, func() {
+			j.mu.Lock()
+			if j.status == jobQueued {
+				j.status = jobRunning
+				j.started = time.Now().UTC()
+			}
+			j.mu.Unlock()
+		})
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.finished = time.Now().UTC()
+		switch {
+		case err == nil:
+			j.status = jobSucceeded
+			j.result = resp
+		case ctx.Err() != nil:
+			j.status = jobCancelled
+			j.err = &apiError{Status: http.StatusConflict, Code: "cancelled", Message: "job cancelled"}
+		default:
+			j.status = jobFailed
+			if ae, ok := err.(*apiError); ok {
+				j.err = ae
+			} else {
+				j.err = &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+			}
+		}
+	}()
+	return j, nil
+}
+
+// planJob maps a job type to the sync endpoint's planner, so job results
+// and sync results share canonical digests (and so response bytes).
+func planJob(spec *JobSpec) (*plan, *apiError) {
+	if len(spec.Request) == 0 {
+		return nil, badRequest("invalid_job", "job request body missing")
+	}
+	switch spec.Type {
+	case "design":
+		var req DesignSpec
+		if aerr := decodeStrict(spec.Request, &req); aerr != nil {
+			return nil, aerr
+		}
+		return planDesign(&req)
+	case "evaluate":
+		var req EvaluateRequest
+		if aerr := decodeStrict(spec.Request, &req); aerr != nil {
+			return nil, aerr
+		}
+		return planEvaluate(&req)
+	case "capacity-search":
+		var req CapacitySearchRequest
+		if aerr := decodeStrict(spec.Request, &req); aerr != nil {
+			return nil, aerr
+		}
+		return planCapacitySearch(&req)
+	case "whatif":
+		var req WhatIfRequest
+		if aerr := decodeStrict(spec.Request, &req); aerr != nil {
+			return nil, aerr
+		}
+		return planWhatIf(&req)
+	case "rewire-plan":
+		var req RewireRequest
+		if aerr := decodeStrict(spec.Request, &req); aerr != nil {
+			return nil, aerr
+		}
+		return planRewire(&req)
+	default:
+		return nil, badRequest("unknown_job_type", "unknown job type %q (want design, evaluate, capacity-search, whatif, or rewire-plan)", spec.Type)
+	}
+}
+
+// olderID orders job ids by age. Ids are zero-padded sequence numbers,
+// so shorter — then lexicographically smaller — means older (the length
+// tiebreak keeps the order right past the padding width).
+func olderID(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// evictFinishedLocked drops the oldest finished job, reporting whether
+// one was found.
+func (js *jobStore) evictFinishedLocked() bool {
+	oldest := ""
+	for id, j := range js.jobs {
+		j.mu.Lock()
+		finished := j.status == jobSucceeded || j.status == jobFailed || j.status == jobCancelled
+		j.mu.Unlock()
+		if finished && (oldest == "" || olderID(id, oldest)) {
+			oldest = id
+		}
+	}
+	if oldest == "" {
+		return false
+	}
+	delete(js.jobs, oldest)
+	return true
+}
+
+func (js *jobStore) get(id string) (*job, *apiError) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok {
+		return nil, &apiError{Status: http.StatusNotFound, Code: "unknown_job", Message: fmt.Sprintf("no job %q", id)}
+	}
+	return j, nil
+}
+
+// list returns views of all jobs, oldest first.
+func (js *jobStore) list() []JobView {
+	js.mu.Lock()
+	jobs := make([]*job, 0, len(js.jobs))
+	for _, j := range js.jobs {
+		jobs = append(jobs, j)
+	}
+	js.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return olderID(jobs[a].id, jobs[b].id) })
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view(false)
+	}
+	return views
+}
+
+// view renders the job; withResult includes the (possibly large) result
+// document — the list endpoint omits it.
+func (j *job) view(withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.id,
+		Type:    j.typ,
+		Status:  j.status,
+		Created: j.created.Format(time.RFC3339Nano),
+		Error:   j.err,
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}
+
+// cancelJob requests cancellation: queued jobs die at dequeue, running
+// interruptible operations (capacity searches between trial solves,
+// what-if chains and evaluations between solves) at their next poll. A
+// finished job is left untouched.
+func (j *job) cancelJob() {
+	j.cancel()
+}

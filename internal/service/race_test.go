@@ -1,0 +1,97 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedRequests hammers one service with overlapping
+// planning requests from many goroutines — identical requests (exercising
+// single-flight and the response cache), chain-prefix overlaps (warm
+// checkpoints), family overlaps, and async jobs, all interleaved. The
+// -race build is half the assertion; the other half is that every
+// response observed for a given request body is byte-identical, no matter
+// which goroutine, worker, or cache path produced it.
+func TestConcurrentMixedRequests(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Workers: 4})
+
+	requests := []struct{ path, body string }{
+		{"/v1/design", `{"switches":16,"ports":8,"networkDegree":5,"seed":61}`},
+		{"/v1/design", `{"switches":16,"ports":8,"networkDegree":5,"seed":62}`},
+		{"/v1/evaluate", `{"topology":{"design":{"switches":16,"ports":8,"networkDegree":5,"seed":61}},"seed":1}`},
+		{"/v1/evaluate", `{"topology":{"design":{"switches":16,"ports":8,"networkDegree":5,"seed":62}},"seed":1}`},
+		{"/v1/whatif", `{"base":{"design":{"switches":16,"ports":8,"networkDegree":5,"seed":61}},"seed":2,"scenarios":[{"failLinks":{"fraction":0.1,"seed":3}}]}`},
+		{"/v1/whatif", `{"base":{"design":{"switches":16,"ports":8,"networkDegree":5,"seed":61}},"seed":2,"scenarios":[{"failLinks":{"fraction":0.1,"seed":3}},{"expand":{"switches":1,"ports":8,"networkDegree":5,"seed":4}}]}`},
+		{"/v1/capacity-search", `{"switches":8,"ports":4,"trials":1,"seed":67}`},
+		{"/v1/capacity-search", `{"switches":8,"ports":4,"trials":2,"seed":67}`},
+	}
+
+	var mu sync.Mutex
+	seen := map[string][]byte{} // request body -> first response observed
+
+	const goroutines = 12
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				req := requests[(g+r)%len(requests)]
+				resp, err := http.Post(ts.URL+req.path, "application/json", strings.NewReader(req.body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				body := make([]byte, 0, 4096)
+				buf := make([]byte, 4096)
+				for {
+					n, rerr := resp.Body.Read(buf)
+					body = append(body, buf[:n]...)
+					if rerr != nil {
+						break
+					}
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d: %s: status %d: %s", g, req.path, resp.StatusCode, body)
+					return
+				}
+				mu.Lock()
+				if prior, ok := seen[req.body]; ok {
+					if !bytes.Equal(prior, body) {
+						mu.Unlock()
+						errs <- fmt.Errorf("goroutine %d: %s: response diverged under concurrency", g, req.path)
+						return
+					}
+				} else {
+					seen[req.body] = body
+				}
+				mu.Unlock()
+
+				// Interleave job traffic over the same scheduler.
+				if g%4 == 0 && r == 0 {
+					jb := fmt.Sprintf(`{"type":"evaluate","request":%s}`, requests[2].body)
+					status, body := doPost(t, ts.URL+"/v1/jobs", jb)
+					if status != http.StatusAccepted {
+						errs <- fmt.Errorf("goroutine %d: job submit status %d: %s", g, status, body)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(seen) != len(requests) {
+		t.Fatalf("observed %d distinct requests, want %d", len(seen), len(requests))
+	}
+}

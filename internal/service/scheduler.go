@@ -1,0 +1,233 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// The scheduler is the serving core: a fixed pool of solver workers, each
+// owning a warm-state cache, with requests hashed by topology-family key
+// to a shard. One goroutine per worker executes that shard's requests
+// sequentially, which is what makes holding mutable warm assets
+// (capsearch.Family memoization, reusable solver chains) safe without any
+// locking: confinement, not synchronization, is the ownership story.
+//
+// Determinism argument (tested end to end in determinism_test.go): every
+// cache entry — response bytes, chain checkpoints, topology families — is
+// a pure function of its key, and keys are canonical content digests of
+// the request (or of a chain prefix of it). A cache hit therefore returns
+// exactly the bytes/state a cold execution would have computed, and the
+// shard a family lands on — which changes with the worker count — can
+// affect only wall-clock, never results.
+
+// errSchedulerClosed reports a submit after Close (shutdown path).
+var errSchedulerClosed = errors.New("service: scheduler closed")
+
+// A plan is a normalized, validated request ready to execute: where it
+// shards (family), its canonical identity (key, the single-flight and
+// response-cache handle), and the executor to run on the owning worker.
+type plan struct {
+	family string
+	key    string
+	run    func(ctx context.Context, w *worker) (any, error)
+}
+
+// A task is one scheduled execution of a plan.
+type task struct {
+	*plan
+	ctx     context.Context
+	dedup   bool
+	onStart func()
+
+	done chan struct{}
+	resp []byte
+	err  error
+}
+
+type stats struct {
+	resultHits   atomic.Int64
+	resultMisses atomic.Int64
+	familyHits   atomic.Int64
+	chainHits    atomic.Int64
+	deduped      atomic.Int64
+}
+
+type worker struct {
+	queue         chan *task
+	cache         *lru
+	solverWorkers int
+	stats         *stats
+	// cacheLen mirrors cache.len() for the stats endpoint (the cache
+	// itself is confined to this worker's goroutine).
+	cacheLen atomic.Int64
+}
+
+type scheduler struct {
+	workers []*worker
+	stats   stats
+
+	mu       sync.Mutex
+	inflight map[string]*task
+	closed   bool
+	// submitters tracks in-progress queue sends so close can wait for
+	// them before closing the queues (a send on a closed channel panics).
+	submitters sync.WaitGroup
+	wg         sync.WaitGroup
+}
+
+func newScheduler(workers, solverWorkers, cacheEntries int) *scheduler {
+	s := &scheduler{
+		workers:  make([]*worker, workers),
+		inflight: make(map[string]*task),
+	}
+	for i := range s.workers {
+		w := &worker{
+			queue:         make(chan *task, 256),
+			cache:         newLRU(cacheEntries),
+			solverWorkers: solverWorkers,
+			stats:         &s.stats,
+		}
+		s.workers[i] = w
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for t := range w.queue {
+				w.execute(s, t)
+			}
+		}()
+	}
+	return s
+}
+
+// do schedules a plan and blocks until its execution — or the identical
+// in-flight execution it was deduplicated onto — completes. ctx is the
+// execution context (checked at dequeue and polled by interruptible
+// executors); dedup enables single-flight coalescing, onStart (optional)
+// fires when execution actually begins on the worker.
+func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func()) ([]byte, error) {
+	t := &task{plan: p, ctx: ctx, dedup: dedup, onStart: onStart, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errSchedulerClosed
+	}
+	if dedup {
+		if prior, ok := s.inflight[p.key]; ok {
+			s.mu.Unlock()
+			s.stats.deduped.Add(1)
+			<-prior.done
+			return prior.resp, prior.err
+		}
+		s.inflight[p.key] = t
+	}
+	s.submitters.Add(1)
+	s.mu.Unlock()
+
+	s.workers[s.shard(p.family)].queue <- t
+	s.submitters.Done()
+	<-t.done
+	return t.resp, t.err
+}
+
+// shard maps a topology-family key to its owning worker. Related requests
+// — same design, same capacity-search inventory — always land together,
+// so they find each other's warm state; the mapping itself can change
+// with the worker count, which is safe because cached values are pure.
+func (s *scheduler) shard(family string) int {
+	h := fnv.New32a()
+	h.Write([]byte(family))
+	return int(h.Sum32() % uint32(len(s.workers)))
+}
+
+func (w *worker) execute(s *scheduler, t *task) {
+	defer func() {
+		w.cacheLen.Store(int64(w.cache.len()))
+		if t.dedup {
+			s.mu.Lock()
+			delete(s.inflight, t.key)
+			s.mu.Unlock()
+		}
+		close(t.done)
+	}()
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			t.err = err
+			return
+		}
+	}
+	if resp, ok := w.cache.get("resp:" + t.key); ok {
+		w.stats.resultHits.Add(1)
+		t.resp = resp.([]byte)
+		return
+	}
+	w.stats.resultMisses.Add(1)
+	if t.onStart != nil {
+		t.onStart()
+	}
+	v, err := runGuarded(t, w)
+	if err != nil {
+		t.err = err
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.err = &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+		return
+	}
+	t.resp = b
+	w.cache.put("resp:"+t.key, b)
+}
+
+// runGuarded executes a plan, converting a panic into a 500. The shard
+// goroutines are shared by every request on the shard — unlike net/http's
+// per-connection goroutines — so an executor panic (a validation gap
+// reaching one of the library's documented panic paths) must fail its one
+// request, not kill the daemon and every in-flight job.
+func runGuarded(t *task, w *worker) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &apiError{Status: http.StatusInternalServerError, Code: "internal",
+				Message: fmt.Sprintf("executor panic: %v", r)}
+		}
+	}()
+	return t.run(t.ctx, w)
+}
+
+// close shuts the pool down after in-flight work drains. Submitting after
+// close returns errSchedulerClosed.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.submitters.Wait()
+	for _, w := range s.workers {
+		close(w.queue)
+	}
+	s.wg.Wait()
+}
+
+func (s *scheduler) statsSnapshot() StatsResponse {
+	entries := 0
+	for _, w := range s.workers {
+		entries += int(w.cacheLen.Load())
+	}
+	return StatsResponse{
+		Workers:      len(s.workers),
+		ResultHits:   s.stats.resultHits.Load(),
+		ResultMisses: s.stats.resultMisses.Load(),
+		FamilyHits:   s.stats.familyHits.Load(),
+		ChainHits:    s.stats.chainHits.Load(),
+		Deduped:      s.stats.deduped.Load(),
+		CacheEntries: entries,
+	}
+}

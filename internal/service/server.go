@@ -1,0 +1,265 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Options configure a Server. Worker count and cache size trade memory
+// and parallelism for wall-clock only: responses are byte-identical for
+// every setting (the determinism guarantee, tested in
+// determinism_test.go).
+type Options struct {
+	// Workers is the number of shard workers (default 4). Each owns one
+	// warm-state cache and executes its shard's requests sequentially.
+	Workers int
+	// SolverWorkers bounds each flow solve's CPU parallelism (default 1).
+	// 0 selects all cores only when Workers is 1; with several shard
+	// workers it falls back to 1, because many workers each spawning
+	// all-core solves would oversubscribe the machine — cross-request
+	// parallelism comes from Workers.
+	SolverWorkers int
+	// CacheEntries bounds each worker's warm-state cache (default 128
+	// entries across response, family, and chain tiers).
+	CacheEntries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.SolverWorkers < 0 {
+		o.SolverWorkers = 1
+	}
+	if o.SolverWorkers == 0 && o.Workers > 1 {
+		// Many shard workers each spawning all-core solves oversubscribes
+		// the machine; default per-solve parallelism to serial.
+		o.SolverWorkers = 1
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 128
+	}
+	return o
+}
+
+// A Server is the jellyfishd planning service: construct with New, mount
+// Handler on any http.Server, Close on shutdown.
+type Server struct {
+	sched *scheduler
+	jobs  *jobStore
+	mux   *http.ServeMux
+}
+
+// New builds a Server with its worker pool running.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		sched: newScheduler(opt.Workers, opt.SolverWorkers, opt.CacheEntries),
+		jobs:  newJobStore(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/design", s.handleDesign)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/capacity-search", s.handleCapacitySearch)
+	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("POST /v1/rewire-plan", s.handleRewire)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels outstanding jobs and shuts the worker pool down after
+// in-flight work drains.
+func (s *Server) Close() {
+	s.jobs.mu.Lock()
+	for _, j := range s.jobs.jobs {
+		j.cancel()
+	}
+	s.jobs.mu.Unlock()
+	s.sched.close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}`))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.statsSnapshot())
+}
+
+// decodeStrict unmarshals a request document, rejecting unknown fields so
+// typos ("trails") fail loudly instead of silently selecting defaults.
+func decodeStrict(data []byte, v any) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid_json", "%v", err)
+	}
+	// A second document in the body is a client bug too.
+	if dec.More() {
+		return badRequest("invalid_json", "trailing data after request document")
+	}
+	return nil
+}
+
+// readBody reads and strictly decodes an HTTP request body.
+func readBody(r *http.Request, v any) *apiError {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err != nil {
+		return badRequest("invalid_body", "reading request body: %v", err)
+	}
+	return decodeStrict(body, v)
+}
+
+// runSync plans, schedules with single-flight dedup, and writes the
+// response. Sync executions deliberately run with a background context:
+// a dropped client must not abort work that concurrent identical
+// requests — or the response cache — will want. Heavy operations that
+// need cancellation belong on the job API.
+func (s *Server) runSync(w http.ResponseWriter, p *plan, aerr *apiError) {
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	resp, err := s.sched.do(context.Background(), p, true, nil)
+	if err != nil {
+		writeSchedErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	var req DesignSpec
+	if aerr := readBody(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	p, aerr := planDesign(&req)
+	s.runSync(w, p, aerr)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if aerr := readBody(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	p, aerr := planEvaluate(&req)
+	s.runSync(w, p, aerr)
+}
+
+func (s *Server) handleCapacitySearch(w http.ResponseWriter, r *http.Request) {
+	var req CapacitySearchRequest
+	if aerr := readBody(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	p, aerr := planCapacitySearch(&req)
+	s.runSync(w, p, aerr)
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req WhatIfRequest
+	if aerr := readBody(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	p, aerr := planWhatIf(&req)
+	s.runSync(w, p, aerr)
+}
+
+func (s *Server) handleRewire(w http.ResponseWriter, r *http.Request) {
+	var req RewireRequest
+	if aerr := readBody(r, &req); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	p, aerr := planRewire(&req)
+	s.runSync(w, p, aerr)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if aerr := readBody(r, &spec); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	j, aerr := s.jobs.submit(s.sched, &spec)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view(false))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, aerr := s.jobs.get(r.PathValue("id"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, aerr := s.jobs.get(r.PathValue("id"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	j.cancelJob()
+	writeJSON(w, http.StatusOK, j.view(false))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+func writeErr(w http.ResponseWriter, aerr *apiError) {
+	b, _ := json.Marshal(errorBody{Error: aerr})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(aerr.Status)
+	w.Write(b)
+}
+
+// writeSchedErr maps scheduler errors onto HTTP.
+func writeSchedErr(w http.ResponseWriter, err error) {
+	var aerr *apiError
+	switch {
+	case errors.As(err, &aerr):
+		writeErr(w, aerr)
+	case errors.Is(err, errSchedulerClosed):
+		writeErr(w, &apiError{Status: http.StatusServiceUnavailable, Code: "shutting_down", Message: "server is shutting down"})
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, &apiError{Status: http.StatusServiceUnavailable, Code: "cancelled", Message: err.Error()})
+	default:
+		writeErr(w, &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()})
+	}
+}

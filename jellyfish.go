@@ -88,10 +88,53 @@ type Config struct {
 	Seed          uint64
 }
 
+// An InvalidConfigError reports a nonsensical configuration handed to one
+// of the package's public entry points (ports ≤ 0, negative trial counts,
+// infeasible degrees, …). Boundaries that cannot return errors — New, the
+// CLIs — panic with it instead; the planning service maps it to HTTP 400.
+type InvalidConfigError struct {
+	// Op is the entry point that rejected the configuration
+	// (e.g. "CapacitySearch", "Config").
+	Op string
+	// Field names the offending field, Value its rejected value.
+	Field string
+	Value any
+	// Reason says what a sensible value would be.
+	Reason string
+}
+
+func (e *InvalidConfigError) Error() string {
+	return fmt.Sprintf("jellyfish: invalid %s.%s = %v: %s", e.Op, e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the configuration against the constructive requirements
+// New enforces by panic, returning a typed *InvalidConfigError so callers
+// with a network boundary (the planning service) can reject bad requests
+// instead of crashing.
+func (c Config) Validate() error {
+	switch {
+	case c.Switches <= 0:
+		return &InvalidConfigError{Op: "Config", Field: "Switches", Value: c.Switches, Reason: "need at least one switch"}
+	case c.Ports <= 0:
+		return &InvalidConfigError{Op: "Config", Field: "Ports", Value: c.Ports, Reason: "need at least one port per switch"}
+	case c.NetworkDegree < 0:
+		return &InvalidConfigError{Op: "Config", Field: "NetworkDegree", Value: c.NetworkDegree, Reason: "network degree cannot be negative"}
+	case c.NetworkDegree > c.Ports:
+		return &InvalidConfigError{Op: "Config", Field: "NetworkDegree", Value: c.NetworkDegree, Reason: fmt.Sprintf("exceeds the %d ports per switch", c.Ports)}
+	case c.NetworkDegree >= c.Switches:
+		return &InvalidConfigError{Op: "Config", Field: "NetworkDegree", Value: c.NetworkDegree, Reason: fmt.Sprintf("a simple graph on %d switches supports degree at most %d", c.Switches, c.Switches-1)}
+	}
+	return nil
+}
+
 // New constructs a Jellyfish topology using the paper's randomized
 // procedure (§3). It panics on infeasible parameters (NetworkDegree >
-// Ports or NetworkDegree >= Switches).
+// Ports or NetworkDegree >= Switches); validate with Config.Validate
+// first when the parameters come from an untrusted boundary.
 func New(cfg Config) *Topology {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	return topology.Jellyfish(cfg.Switches, cfg.Ports, cfg.NetworkDegree, rng.New(cfg.Seed))
 }
 
@@ -174,14 +217,17 @@ func SupportsFullThroughput(t *Topology, trials int, slack float64, seed uint64,
 // previous one's solution, with per-trial state chains advanced in
 // deterministic probe order. Use CapacitySearch to tune the knobs
 // (including ColdStart for the from-scratch baseline).
-func MaxServersAtFullThroughput(switches, ports, trials int, seed uint64) int {
+//
+// A nonsensical inventory (switches or ports ≤ 0, trials ≤ 0) returns a
+// typed *InvalidConfigError instead of panicking or silently reporting 0,
+// so network boundaries can distinguish "bad request" from "this
+// inventory supports no servers".
+func MaxServersAtFullThroughput(switches, ports, trials int, seed uint64) (int, error) {
+	if trials <= 0 {
+		return 0, &InvalidConfigError{Op: "MaxServersAtFullThroughput", Field: "trials", Value: trials, Reason: "need at least one permutation matrix per probe"}
+	}
 	return CapacitySearch{Switches: switches, Ports: ports, Trials: trials, Seed: seed}.Run()
 }
-
-// trafficSeedOffset decorrelates the traffic streams of a capacity search
-// from its topology streams (the historical constant, kept so results are
-// comparable across versions).
-const trafficSeedOffset = 0x5f5e100
 
 // CapacitySearch configures a Fig. 2(c)-style capacity search. The zero
 // value of the optional knobs selects the MaxServersAtFullThroughput
@@ -206,25 +252,89 @@ type CapacitySearch struct {
 	ColdStart bool
 }
 
+// Validate checks the search configuration, returning a typed
+// *InvalidConfigError for nonsensical inventories or knobs. The zero
+// values of the optional knobs (Trials, Slack, Workers) are valid — they
+// select the documented defaults — but negative values are not.
+func (c CapacitySearch) Validate() error {
+	switch {
+	case c.Switches <= 0:
+		return &InvalidConfigError{Op: "CapacitySearch", Field: "Switches", Value: c.Switches, Reason: "need at least one switch"}
+	case c.Ports <= 1:
+		return &InvalidConfigError{Op: "CapacitySearch", Field: "Ports", Value: c.Ports, Reason: "a switch needs at least 2 ports to host a server and a network link"}
+	case c.Trials < 0:
+		return &InvalidConfigError{Op: "CapacitySearch", Field: "Trials", Value: c.Trials, Reason: "trial count cannot be negative (0 selects the default)"}
+	case c.Slack < 0 || c.Slack >= 1:
+		return &InvalidConfigError{Op: "CapacitySearch", Field: "Slack", Value: c.Slack, Reason: "slack must lie in [0, 1) (0 selects the default)"}
+	case c.Workers < 0:
+		return &InvalidConfigError{Op: "CapacitySearch", Field: "Workers", Value: c.Workers, Reason: "worker count cannot be negative (0 means all cores)"}
+	}
+	return nil
+}
+
 // Run executes the search and returns the largest supported server count
-// (0 if even one server per switch is unsupportable).
-func (c CapacitySearch) Run() int {
+// (0 if even one server per switch is unsupportable). A nonsensical
+// configuration returns a typed *InvalidConfigError (see Validate); a
+// valid search never fails.
+func (c CapacitySearch) Run() (int, error) {
+	return c.RunOnFamily(nil, nil)
+}
+
+// ErrInterrupted reports a capacity search abandoned by its interrupt
+// hook (see RunOnFamily). Plain Run never returns it.
+var ErrInterrupted = capsearch.ErrInterrupted
+
+// A SearchFamily is the reusable warm asset of capacity searches over one
+// inventory: the incrementally grown topology the probes share. It is a
+// pure function of (Switches, Ports, Seed) — every search over the same
+// inventory probes identical instances whether it builds its own family
+// or receives a cached one — which is what lets a caching layer (the
+// planning service) keep families across requests without changing any
+// result. Safe for sequential reuse; not for concurrent searches.
+type SearchFamily struct {
+	fam *capsearch.Family
+}
+
+// NewFamily constructs the topology family c's probes grow, for callers
+// that cache it across searches (see RunOnFamily).
+func (c CapacitySearch) NewFamily() (*SearchFamily, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &SearchFamily{fam: capsearch.NewFamily(
+		SpreadServers(c.Switches, c.Ports, c.Switches, c.Seed),
+		rng.New(c.Seed).Split("grow"))}, nil
+}
+
+// RunOnFamily executes the search probing a caller-cached family (nil
+// builds a fresh one — Run is exactly RunOnFamily(nil, nil)) with an
+// optional interrupt hook polled between solves; when the hook reports
+// true the search abandons with ErrInterrupted. The family must come
+// from NewFamily on a CapacitySearch with the same Switches, Ports, and
+// Seed.
+func (c CapacitySearch) RunOnFamily(fam *SearchFamily, interrupt func() bool) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
 	if c.Trials <= 0 {
 		c.Trials = 3
 	}
 	if c.Slack <= 0 {
 		c.Slack = 0.03
 	}
-	lo, hi := c.Switches, c.Switches*(c.Ports-1)
+	if fam == nil {
+		fam, _ = c.NewFamily() // c already validated
+	}
 	return capsearch.MaxServers(capsearch.Config{
-		Lo:      lo,
-		Hi:      hi,
-		Family:  capsearch.NewFamily(SpreadServers(c.Switches, c.Ports, lo, c.Seed), rng.New(c.Seed).Split("grow")),
-		Traffic: rng.New(c.Seed + trafficSeedOffset),
-		Trials:  c.Trials,
-		Slack:   c.Slack,
-		Workers: c.Workers,
-		Cold:    c.ColdStart,
+		Lo:        c.Switches,
+		Hi:        c.Switches * (c.Ports - 1),
+		Family:    fam.fam,
+		Traffic:   rng.New(c.Seed + capsearch.TrafficSeedOffset),
+		Trials:    c.Trials,
+		Slack:     c.Slack,
+		Workers:   c.Workers,
+		Cold:      c.ColdStart,
+		Interrupt: interrupt,
 	})
 }
 

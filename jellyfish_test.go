@@ -1,8 +1,100 @@
 package jellyfish
 
 import (
+	"errors"
 	"testing"
 )
+
+// Nonsensical configurations at the public boundary must come back as
+// typed *InvalidConfigError values — the planning service maps these to
+// HTTP 400 — never as panics or a silent 0.
+func TestCapacitySearchInvalidConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  CapacitySearch
+	}{
+		{"zero switches", CapacitySearch{Switches: 0, Ports: 8}},
+		{"negative switches", CapacitySearch{Switches: -3, Ports: 8}},
+		{"zero ports", CapacitySearch{Switches: 10, Ports: 0}},
+		{"one port", CapacitySearch{Switches: 10, Ports: 1}},
+		{"negative trials", CapacitySearch{Switches: 10, Ports: 8, Trials: -1}},
+		{"slack out of range", CapacitySearch{Switches: 10, Ports: 8, Slack: 1.5}},
+		{"negative workers", CapacitySearch{Switches: 10, Ports: 8, Workers: -2}},
+	}
+	for _, tc := range cases {
+		got, err := tc.cfg.Run()
+		var ice *InvalidConfigError
+		if !errors.As(err, &ice) {
+			t.Fatalf("%s: Run() = (%d, %v), want *InvalidConfigError", tc.name, got, err)
+		}
+		if ice.Op != "CapacitySearch" || ice.Field == "" || ice.Error() == "" {
+			t.Fatalf("%s: malformed error %+v", tc.name, ice)
+		}
+		if err := tc.cfg.Validate(); !errors.As(err, &ice) {
+			t.Fatalf("%s: Validate() = %v, want *InvalidConfigError", tc.name, err)
+		}
+	}
+}
+
+// A search over a cached family — including one reused by consecutive
+// searches, the planning service's access pattern — must return exactly
+// what a fresh Run does: SearchFamily is pure in the inventory.
+func TestRunOnFamilyMatchesRun(t *testing.T) {
+	cs := CapacitySearch{Switches: 10, Ports: 4, Trials: 1, Seed: 11, Workers: 1}
+	fresh, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := cs.NewFamily()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		got, err := cs.RunOnFamily(fam, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fresh {
+			t.Fatalf("round %d: RunOnFamily = %d, Run = %d", round, got, fresh)
+		}
+	}
+	if _, err := cs.RunOnFamily(fam, func() bool { return true }); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("always-on interrupt returned %v, want ErrInterrupted", err)
+	}
+	bad := CapacitySearch{Switches: 0, Ports: 4}
+	if _, err := bad.NewFamily(); err == nil {
+		t.Fatal("NewFamily accepted an invalid inventory")
+	}
+}
+
+func TestMaxServersAtFullThroughputInvalidTrials(t *testing.T) {
+	for _, trials := range []int{0, -2} {
+		got, err := MaxServersAtFullThroughput(10, 8, trials, 1)
+		var ice *InvalidConfigError
+		if !errors.As(err, &ice) || got != 0 {
+			t.Fatalf("trials=%d: got (%d, %v), want typed invalid-config error", trials, got, err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Switches: 0, Ports: 8, NetworkDegree: 4},
+		{Switches: 10, Ports: 0, NetworkDegree: 0},
+		{Switches: 10, Ports: 8, NetworkDegree: -1},
+		{Switches: 10, Ports: 8, NetworkDegree: 9},   // degree > ports
+		{Switches: 10, Ports: 24, NetworkDegree: 10}, // degree >= switches
+	}
+	for i, cfg := range bad {
+		var ice *InvalidConfigError
+		if err := cfg.Validate(); !errors.As(err, &ice) {
+			t.Fatalf("case %d: Validate() = %v, want *InvalidConfigError", i, err)
+		}
+	}
+	if err := (Config{Switches: 10, Ports: 8, NetworkDegree: 4}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
 
 func TestNewBasic(t *testing.T) {
 	net := New(Config{Switches: 50, Ports: 12, NetworkDegree: 6, Seed: 1})
@@ -116,7 +208,10 @@ func TestMaxServersBeatsFatTree(t *testing.T) {
 	k := 6
 	ftServers := k * k * k / 4  // 54
 	ftSwitches := 5 * k * k / 4 // 45
-	got := MaxServersAtFullThroughput(ftSwitches, k, 2, 13)
+	got, err := MaxServersAtFullThroughput(ftSwitches, k, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got < ftServers {
 		t.Fatalf("jellyfish max servers = %d, fat-tree has %d", got, ftServers)
 	}
@@ -130,7 +225,7 @@ func TestMaxServersBeatsFatTree(t *testing.T) {
 // without ever checking it.
 func TestMaxServersInfeasibleLowerBound(t *testing.T) {
 	for seed := uint64(1); seed <= 3; seed++ {
-		if got := MaxServersAtFullThroughput(4, 2, 2, seed); got != 0 {
+		if got, err := MaxServersAtFullThroughput(4, 2, 2, seed); err != nil || got != 0 {
 			t.Fatalf("seed %d: max servers = %d on a disconnected matching, want 0", seed, got)
 		}
 	}

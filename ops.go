@@ -2,6 +2,7 @@ package jellyfish
 
 import (
 	"io"
+	"sync/atomic"
 
 	"jellyfish/internal/graph"
 	"jellyfish/internal/maxflow"
@@ -81,11 +82,19 @@ func CriticalLinks(t *Topology) []Edge { return t.Graph.Bridges() }
 // numbers on any worker count, and every number carries the solver's
 // usual primal/dual accuracy guarantee.
 //
-// A WhatIfEvaluator is not safe for concurrent use; evaluate a sequence
-// from one goroutine (use separate evaluators for independent sequences).
+// A WhatIfEvaluator enforces a single-evaluation-at-a-time contract:
+// concurrent calls would interleave the warm chain in scheduling order,
+// silently destroying the determinism guarantee above, so overlapping
+// calls panic instead (an atomic guard, cheap enough to always be on).
+// Sequential use from different goroutines is safe — the guard's
+// acquire/release pair publishes the carried state across the handoff —
+// which is exactly how the planning service drives one evaluator per
+// shard worker. For independent concurrent sequences, use one evaluator
+// each.
 type WhatIfEvaluator struct {
-	sv *mcf.Solver
-	st *mcf.State
+	sv   *mcf.Solver
+	st   *mcf.State
+	busy atomic.Bool
 }
 
 // NewWhatIfEvaluator returns a reusable evaluator. workers bounds the
@@ -98,7 +107,12 @@ func NewWhatIfEvaluator(workers int) *WhatIfEvaluator {
 // handle: identical traffic derivation and accuracy, but warm-started
 // from the previous evaluation when the topologies are related (an
 // unrelated topology falls back to a cold solve automatically).
+//
+// Panics if another evaluation is in flight on the same evaluator (see
+// the type's concurrency contract).
 func (e *WhatIfEvaluator) OptimalThroughput(t *Topology, seed uint64) float64 {
+	e.acquire("OptimalThroughput")
+	defer e.busy.Store(false)
 	pat := traffic.RandomPermutation(t.ServerSwitches(), rng.New(seed).Split("traffic"))
 	var res mcf.Result
 	res, e.st = e.sv.Solve(t.Graph, pat.Commodities(), e.st)
@@ -108,4 +122,39 @@ func (e *WhatIfEvaluator) OptimalThroughput(t *Topology, seed uint64) float64 {
 // Reset drops the carried solver state, forcing the next evaluation to
 // start cold (useful when switching to an unrelated network, though the
 // solver's own overlap check would catch that too).
-func (e *WhatIfEvaluator) Reset() { e.st = nil }
+func (e *WhatIfEvaluator) Reset() {
+	e.acquire("Reset")
+	defer e.busy.Store(false)
+	e.st = nil
+}
+
+// State returns the warm snapshot carried from the last evaluation (nil
+// before any). mcf.State values are immutable, so the snapshot may be
+// cached and shared freely — the planning service checkpoints scenario
+// chains this way, keyed by the deterministic chain position that
+// produced them (DESIGN.md §10).
+func (e *WhatIfEvaluator) State() *mcf.State {
+	e.acquire("State")
+	defer e.busy.Store(false)
+	return e.st
+}
+
+// SetState installs a warm snapshot as if the evaluator's previous
+// evaluation had produced it, so a chain can resume from a cached
+// checkpoint. Evaluations after SetState(st) are bit-identical to
+// evaluations after the sequence that produced st — that equivalence is
+// what lets a service cache chain prefixes without changing any response.
+func (e *WhatIfEvaluator) SetState(st *mcf.State) {
+	e.acquire("SetState")
+	defer e.busy.Store(false)
+	e.st = st
+}
+
+// acquire takes the single-evaluation guard or panics. The matching
+// release is an atomic store, so sequential cross-goroutine use observes
+// a consistent chain (the acquire/release pair is the synchronization).
+func (e *WhatIfEvaluator) acquire(op string) {
+	if !e.busy.CompareAndSwap(false, true) {
+		panic("jellyfish: concurrent " + op + " on a WhatIfEvaluator; use one evaluator per concurrent sequence (see the type's contract)")
+	}
+}

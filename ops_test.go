@@ -2,8 +2,127 @@ package jellyfish
 
 import (
 	"bytes"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
+
+// Sequential cross-goroutine use of one evaluator is race-free and
+// bit-identical to single-goroutine use: the guard's acquire/release
+// publishes the carried chain across the handoff. (Run under -race in CI.)
+func TestWhatIfEvaluatorSequentialCrossGoroutine(t *testing.T) {
+	base := New(Config{Switches: 24, Ports: 10, NetworkDegree: 6, Seed: 31})
+	degraded := base.Clone()
+	FailRandomLinks(degraded, 0.1, 32)
+
+	single := NewWhatIfEvaluator(1)
+	want := []float64{single.OptimalThroughput(base, 33), single.OptimalThroughput(degraded, 33)}
+
+	ev := NewWhatIfEvaluator(1)
+	got := make([]float64, 2)
+	handoff := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		got[0] = ev.OptimalThroughput(base, 33)
+		close(handoff)
+	}()
+	go func() {
+		<-handoff
+		got[1] = ev.OptimalThroughput(degraded, 33)
+		close(done)
+	}()
+	<-done
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: cross-goroutine chain %v != single-goroutine chain %v", i, got, want)
+		}
+	}
+}
+
+// Overlapping evaluations must panic — loudly, deterministically — rather
+// than silently corrupt the warm chain.
+func TestWhatIfEvaluatorConcurrentUsePanics(t *testing.T) {
+	ev := NewWhatIfEvaluator(1)
+	net := New(Config{Switches: 12, Ports: 8, NetworkDegree: 4, Seed: 1})
+	ev.busy.Store(true) // simulate an evaluation in flight
+	defer ev.busy.Store(false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping OptimalThroughput did not panic")
+		}
+	}()
+	ev.OptimalThroughput(net, 2)
+}
+
+// Hammering one evaluator from many goroutines must never race (the -race
+// build is the assertion): every call either completes under the guard or
+// panics; no interleaving touches the chain unsynchronized.
+func TestWhatIfEvaluatorGuardUnderContention(t *testing.T) {
+	ev := NewWhatIfEvaluator(1)
+	net := New(Config{Switches: 16, Ports: 8, NetworkDegree: 4, Seed: 5})
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var completed, panicked atomic.Int64
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					panicked.Add(1)
+				}
+			}()
+			<-start
+			ev.OptimalThroughput(net, 7)
+			completed.Add(1)
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if completed.Load()+panicked.Load() != goroutines {
+		t.Fatalf("%d completed + %d panicked != %d calls", completed.Load(), panicked.Load(), goroutines)
+	}
+	if completed.Load() == 0 {
+		t.Fatal("every call panicked; at least the first acquirer must complete")
+	}
+	// The evaluator must remain usable: the guard was released by every
+	// completed call, and the chain still evaluates deterministically.
+	after := ev.OptimalThroughput(net, 7)
+	if after <= 0 || after > 1 {
+		t.Fatalf("post-contention evaluation out of range: %v", after)
+	}
+}
+
+// State/SetState round-trip: resuming a chain from a checkpoint is
+// bit-identical to continuing the chain that produced it — the cache
+// equivalence the planning service's determinism rests on.
+func TestWhatIfEvaluatorStateCheckpointResume(t *testing.T) {
+	base := New(Config{Switches: 24, Ports: 10, NetworkDegree: 6, Seed: 41})
+	step1 := base.Clone()
+	FailRandomLinks(step1, 0.08, 42)
+	step2 := step1.Clone()
+	Expand(step2, 2, 10, 6, 43)
+
+	full := NewWhatIfEvaluator(1)
+	lam0 := full.OptimalThroughput(base, 44)
+	checkpoint := full.State()
+	if checkpoint == nil {
+		t.Fatal("no state after an evaluation")
+	}
+	lam1 := full.OptimalThroughput(step1, 44)
+	lam2 := full.OptimalThroughput(step2, 44)
+
+	resumed := NewWhatIfEvaluator(1)
+	resumed.SetState(checkpoint)
+	if got := resumed.OptimalThroughput(step1, 44); got != lam1 {
+		t.Fatalf("resumed step1 throughput %v != chained %v", got, lam1)
+	}
+	if got := resumed.OptimalThroughput(step2, 44); got != lam2 {
+		t.Fatalf("resumed step2 throughput %v != chained %v", got, lam2)
+	}
+	_ = lam0
+}
 
 func TestBlueprintRoundTripPublic(t *testing.T) {
 	net := New(Config{Switches: 25, Ports: 10, NetworkDegree: 6, Seed: 1})
