@@ -65,7 +65,7 @@ func PacketLevelThroughput(t *Topology, scheme RoutingScheme, proto TransportPro
 	src := rng.New(seed)
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
 	table := buildTable(t, pat, scheme, src.Split("routes"), firstOrZero(workers))
-	res := flowsim.Simulate(pat.Flows, table, proto, src.Split("sim"))
+	res := flowsim.Simulate(pat.Flows, table, proto, flowsim.SimSource(src, proto))
 	return PacketLevelResult{
 		MeanThroughput:  res.Mean(),
 		FlowThroughputs: res.FlowRate,

@@ -14,8 +14,10 @@ import (
 
 	"jellyfish/internal/capsearch"
 	"jellyfish/internal/experiments"
+	"jellyfish/internal/flowsim"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/rng"
+	"jellyfish/internal/routing"
 	"jellyfish/internal/traffic"
 )
 
@@ -254,6 +256,40 @@ func BenchmarkMaxServersSearchPR2(b *testing.B) {
 	}
 	b.ReportMetric(float64(res), "servers")
 }
+
+// ---- transport-kernel benchmarks (compiled flowsim instance) ----
+//
+// Steady-state flowsim Simulate calls on one compiled Sim at the MCF
+// benchmark's scale (RRG(80,16,12), 320 servers, kSP-8 routes): the
+// zero-allocation transport kernel gate, the flow-level analogue of
+// BenchmarkMaxConcurrentFlow. Routing is prebuilt — the kernel alone is
+// measured — and the instance is warmed before timing, so allocs/op is
+// budgeted at exactly 0 in BENCH_mcf.json's ci_budget (the pin
+// TestTransportZeroAllocs enforces per-protocol). The PR 4 one-shot
+// baseline on this instance is recorded in BENCH_mcf.json
+// transport_kernel.
+func benchTransportKernel(b *testing.B, proto flowsim.Protocol) {
+	net := New(Config{Switches: 80, Ports: 16, NetworkDegree: 12, Seed: 1})
+	pat := traffic.RandomPermutation(net.ServerSwitches(), rng.New(7))
+	var sd [][2]int
+	for _, f := range pat.Flows {
+		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
+	}
+	table := routing.KShortest(net.Graph, routing.PairsForCommodities(sd), 8, 0)
+	sim := flowsim.NewSim(net.Graph.N(), net.NumServers())
+	src := rng.New(3)
+	var res flowsim.Result
+	res = sim.Simulate(pat.Flows, table, proto, src) // warm the instance
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = sim.Simulate(pat.Flows, table, proto, src)
+	}
+	b.ReportMetric(res.Mean(), "mean_rate")
+}
+
+func BenchmarkTransportKernelTCP8(b *testing.B)   { benchTransportKernel(b, flowsim.TCP8) }
+func BenchmarkTransportKernelMPTCP8(b *testing.B) { benchTransportKernel(b, flowsim.MPTCP8) }
 
 func BenchmarkConstructJellyfish(b *testing.B) {
 	for i := 0; i < b.N; i++ {

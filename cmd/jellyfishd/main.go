@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128]
+//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128] [-max-sync 32]
 //
 // Endpoints (all request/response bodies are JSON):
 //
@@ -45,12 +45,14 @@ func main() {
 	workers := flag.Int("workers", 4, "shard workers (each owns a warm-state cache; any value yields identical responses)")
 	solverWorkers := flag.Int("solver-workers", 1, "CPU parallelism per flow solve; 0 = all cores when -workers is 1, otherwise 1 (many shard workers each running all-core solves would oversubscribe the machine — cross-request parallelism comes from -workers)")
 	cacheEntries := flag.Int("cache", 128, "warm-state cache entries per worker")
+	maxSync := flag.Int("max-sync", 0, "admitted concurrent synchronous requests before shedding load with 429 + Retry-After (0 = 8×workers, negative = unlimited; the job API is never gated)")
 	flag.Parse()
 
 	srv := service.New(service.Options{
-		Workers:       *workers,
-		SolverWorkers: *solverWorkers,
-		CacheEntries:  *cacheEntries,
+		Workers:         *workers,
+		SolverWorkers:   *solverWorkers,
+		CacheEntries:    *cacheEntries,
+		MaxSyncInflight: *maxSync,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

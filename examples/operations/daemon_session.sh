@@ -42,6 +42,15 @@ curl -fsS "$BASE/v1/evaluate" \
 	-d '{"topology":{"design":{"switches":50,"ports":12,"networkDegree":8,"seed":42}},"seed":9,"trials":3}'
 echo
 
+# The same evaluation under a realizable data plane instead of the
+# optimal-routing solver: kSP-8 routes + coupled MPTCP (Table 1's
+# methodology). Repeated transport evaluations of one topology family
+# hit the daemon's compiled-instance cache (the "sim:" tier).
+echo "== evaluate, transport plane (mptcp8 over ksp8)"
+curl -fsS "$BASE/v1/evaluate" \
+	-d '{"topology":{"design":{"switches":50,"ports":12,"networkDegree":8,"seed":42}},"seed":9,"trials":3,"transport":{"protocol":"mptcp8","routing":"ksp8"}}'
+echo
+
 # What-if chain: drill 10% link failures, then a switch failure, then an
 # expansion by 5 racks. Steps warm-start from the previous step's solve
 # (DESIGN.md §9); re-running with a longer chain resumes from the cached

@@ -30,6 +30,7 @@ import (
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
+	"jellyfish/internal/traffic"
 )
 
 // TrafficSeedOffset decorrelates a capacity search's traffic streams from
@@ -121,24 +122,18 @@ func (f *Family) Assign(servers int) []int {
 }
 
 // cycleCommodities builds the probe's traffic: a uniform random cyclic
-// permutation over the server slots, built by successive uniform
-// insertion (slot i enters the cycle after a uniform random predecessor),
-// so the permutation at s+1 servers extends the one at s with a single
+// permutation over the server slots (traffic.CycleSuccessors — shared
+// with the transport-level searches, which need the same nesting), so
+// the permutation at s+1 servers extends the one at s with a single
 // commodity rewired. Every server sends one unit toward its successor's
 // switch — the paper's "each server sends at full rate to one other
 // server" methodology; same-switch pairs are dropped by the solver like
 // any permutation's. The stream is consumed strictly in slot order, so
 // rebuilding per probe replays identical draws.
 func cycleCommodities(assign []int, src *rng.Source) []mcf.Commodity {
-	n := len(assign)
-	next := make([]int, n)
-	for i := 1; i < n; i++ {
-		x := src.Intn(i)
-		next[i] = next[x]
-		next[x] = i
-	}
-	comms := make([]mcf.Commodity, 0, n)
-	for j := 0; j < n; j++ {
+	next := traffic.CycleSuccessors(len(assign), src)
+	comms := make([]mcf.Commodity, 0, len(assign))
+	for j := range assign {
 		comms = append(comms, mcf.Commodity{Src: assign[j], Dst: assign[next[j]], Demand: 1})
 	}
 	return comms

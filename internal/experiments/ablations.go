@@ -46,7 +46,9 @@ func AblationRoutingK(opt Options) *Table {
 	tps := parallel.Map(w, len(ks), func(i int) float64 {
 		k := ks[i]
 		table := routing.KShortest(top.Graph, pairs, k, w)
-		return flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, src.SplitN("sim", k)).Mean()
+		// MPTCP8 consumes no randomness; no dead "sim" split (flowsim's
+		// stream contract).
+		return flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, nil).Mean()
 	})
 	for i, k := range ks {
 		t.AddRow(k, tps[i])
@@ -304,7 +306,10 @@ func AblationPacketVsFluid(opt Options) *Table {
 		table := routeTable(top, pat, "ksp8", tsrc.Split("routes"), w)
 
 		optimal := mcfThroughput(top, tsrc.Split("mcf"), 1)
-		fluid := flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, tsrc.Split("fluid")).Mean()
+		// MPTCP8 consumes no randomness; no dead "fluid" split (flowsim's
+		// stream contract). The DES keeps its stream: uncoupled configs
+		// hash routes from it, so the signature stays uniform there.
+		fluid := flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, nil).Mean()
 		des := packetsim.Simulate(pat.Flows, table,
 			packetsim.Config{Subflows: 8, Coupled: true, Horizon: 6000}, tsrc.Split("des")).Mean()
 		return [3]float64{optimal, fluid, des}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"jellyfish/internal/capsearch"
 	"jellyfish/internal/flowsim"
 	"jellyfish/internal/metrics"
 	"jellyfish/internal/parallel"
@@ -13,29 +14,75 @@ import (
 	"jellyfish/internal/traffic"
 )
 
-// routeTable builds the table for a pattern under the named scheme,
-// fanning the per-source path computations out over workers goroutines.
-func routeTable(t *topology.Topology, pat *traffic.Pattern, scheme string, src *rng.Source, workers int) *routing.Table {
-	var sd [][2]int
-	for _, f := range pat.Flows {
-		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
-	}
-	pairs := routing.PairsForCommodities(sd)
+// compiledTable builds the pattern's table under the named scheme from a
+// compiled routing instance, fanning per-source/per-pair computations out
+// over workers goroutines. Bit-identical to building from scratch
+// (routing.Compiled's contract); repeated builds on one instance pay only
+// for pairs and sources it has not seen.
+func compiledTable(c *routing.Compiled, pat *traffic.Pattern, scheme string, src *rng.Source, workers int) *routing.Table {
+	pairs := routing.PairsForPattern(pat)
 	switch scheme {
 	case "ecmp64":
-		return routing.ECMP(t.Graph, pairs, 64, src, workers)
+		return c.ECMP(pairs, 64, src, workers)
 	case "ksp8":
-		return routing.KShortest(t.Graph, pairs, 8, workers)
+		return c.KShortest(pairs, 8, workers)
 	default:
-		return routing.ECMP(t.Graph, pairs, 8, src, workers)
+		return c.ECMP(pairs, 8, src, workers)
 	}
 }
 
-// simMean runs the flow simulator and returns mean per-server throughput.
+// routeTable builds the table for a pattern under the named scheme on a
+// throwaway compiled instance — the one-shot form for call sites that
+// use a topology only once.
+func routeTable(t *topology.Topology, pat *traffic.Pattern, scheme string, src *rng.Source, workers int) *routing.Table {
+	return compiledTable(routing.NewCompiled(t.Graph), pat, scheme, src, workers)
+}
+
+// A transportKit is the compiled per-topology transport instance shared
+// across an experiment's trials: one routing.Compiled (thread-safe,
+// memoizes k-shortest path sets and ECMP source state) plus one
+// flowsim.Sim per parallel worker slot (exclusive scratch — see
+// parallel.ForEachWorker's contract). Trials fanned out with
+// parallel.MapWorker index sims by worker id; results are bit-identical
+// to fresh per-trial state for every worker count.
+type transportKit struct {
+	top      *topology.Topology
+	compiled *routing.Compiled
+	sims     []*flowsim.Sim
+}
+
+func newTransportKit(top *topology.Topology, workers int) *transportKit {
+	k := &transportKit{
+		top:      top,
+		compiled: routing.NewCompiled(top.Graph),
+		sims:     make([]*flowsim.Sim, parallel.Workers(workers)),
+	}
+	for i := range k.sims {
+		k.sims[i] = flowsim.NewSim(top.Graph.N(), top.NumServers())
+	}
+	return k
+}
+
+// simMean runs one trial of the flow simulator on the kit's topology and
+// returns mean per-server throughput, using the given worker slot's
+// scratch. Stream-for-stream identical to the pre-kit one-shot simMean:
+// "traffic" seeds the permutation, "routes" the table build, and "sim"
+// the subflow hashing — except that the "sim" split is never derived for
+// MPTCP8, which consumes no randomness (flowsim's stream contract; the
+// split would be dead, and dropping it everywhere keeps any future
+// consumption from silently shifting pinned streams).
+func (k *transportKit) simMean(worker int, scheme string, proto flowsim.Protocol, src *rng.Source) float64 {
+	pat := traffic.RandomPermutation(k.top.ServerSwitches(), src.Split("traffic"))
+	table := compiledTable(k.compiled, pat, scheme, src.Split("routes"), 1)
+	return k.sims[worker].Simulate(pat.Flows, table, proto, flowsim.SimSource(src, proto)).Mean()
+}
+
+// simMean is the one-shot form of transportKit.simMean for topologies
+// used in a single trial.
 func simMean(t *topology.Topology, scheme string, proto flowsim.Protocol, src *rng.Source, workers int) float64 {
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
 	table := routeTable(t, pat, scheme, src.Split("routes"), workers)
-	return flowsim.Simulate(pat.Flows, table, proto, src.Split("sim")).Mean()
+	return flowsim.Simulate(pat.Flows, table, proto, flowsim.SimSource(src, proto)).Mean()
 }
 
 // table1Sizes returns the fat-tree arity and matching jellyfish server
@@ -58,9 +105,10 @@ func Fig9ECMPPathCounts(opt Options) *Table {
 	pat := traffic.RandomPermutation(jf.ServerSwitches(), src.Split("traffic"))
 
 	schemes := []string{"ecmp8", "ecmp64", "ksp8"}
+	compiled := routing.NewCompiled(jf.Graph)
 	ranked := parallel.Map(opt.workers(), len(schemes), func(i int) []int {
 		scheme := schemes[i]
-		return routing.RankedLinkLoads(jf.Graph, routeTable(jf, pat, scheme, src.Split(scheme), opt.workers()))
+		return routing.RankedLinkLoads(jf.Graph, compiledTable(compiled, pat, scheme, src.Split(scheme), opt.workers()))
 	})
 	series := map[string][]int{}
 	for i, scheme := range schemes {
@@ -95,6 +143,8 @@ func Fig9ECMPPathCounts(opt Options) *Table {
 // Table1RoutingCongestion reproduces Table 1: mean per-server throughput
 // (% of NIC rate) for the fat-tree under ECMP and Jellyfish under ECMP and
 // 8-shortest paths, each with TCP 1-flow, TCP 8-flow, and MPTCP transport.
+// Both topologies are compiled once; the three protocols and all trials
+// share the two routing instances and per-worker simulator scratch.
 func Table1RoutingCongestion(opt Options) *Table {
 	k, jfServers := table1Sizes(opt)
 	src := rng.New(opt.Seed).Split("table1")
@@ -108,14 +158,16 @@ func Table1RoutingCongestion(opt Options) *Table {
 		Columns: []string{"congestion_control", "ft_ecmp", "jf_ecmp", "jf_8sp"},
 	}
 	w := opt.workers()
+	ftKit := newTransportKit(ft, w)
+	jfKit := newTransportKit(jf, w)
 	protos := []flowsim.Protocol{flowsim.TCP1, flowsim.TCP8, flowsim.MPTCP8}
 	for _, proto := range protos {
-		perTrial := parallel.Map(w, trials, func(i int) [3]float64 {
+		perTrial := parallel.MapWorker(w, trials, func(worker, i int) [3]float64 {
 			tsrc := src.SplitN(proto.String(), i)
 			return [3]float64{
-				simMean(ft, "ecmp8", proto, tsrc.Split("ft"), 1) / float64(trials),
-				simMean(jf, "ecmp8", proto, tsrc.Split("jfe"), 1) / float64(trials),
-				simMean(jf, "ksp8", proto, tsrc.Split("jfk"), 1) / float64(trials),
+				ftKit.simMean(worker, "ecmp8", proto, tsrc.Split("ft")) / float64(trials),
+				jfKit.simMean(worker, "ecmp8", proto, tsrc.Split("jfe")) / float64(trials),
+				jfKit.simMean(worker, "ksp8", proto, tsrc.Split("jfk")) / float64(trials),
 			}
 		})
 		var ftv, jfe, jfk float64
@@ -181,28 +233,57 @@ func Fig10SimVsOptimal(opt Options) *Table {
 
 // packetLevelMaxServers binary-searches the servers jellyfish supports at
 // ≥ the fat-tree's packet-level throughput (Fig. 11 methodology).
+//
+// The search reuses the capacity-search machinery (DESIGN.md §9/§11):
+// probes draw from one incrementally grown topology family — pure by
+// absolute server index, so the topology at a given count is independent
+// of probe order (Fig. 6 licenses incremental ≈ scratch) — under nested
+// cyclic-permutation traffic whose permutation at s+1 servers extends the
+// one at s. The warm assets carried across the binary-search sequence are
+// the per-worker compiled simulator instances (arena + scratch survive
+// probe-to-probe) and, within each probe, one compiled routing instance
+// shared by all trials; the family's O(1)-links-per-server growth means
+// adjacent probes re-derive only the paths the rewiring touched.
 func packetLevelMaxServers(k int, trials int, src *rng.Source, workers int) (ftServers, jfServers int, ftTp float64) {
 	ft := topology.FatTree(k)
 	ftServers = ft.NumServers()
-	ftTp = parallel.SumFloat64(workers, trials, func(i int) float64 {
-		return simMean(ft, "ecmp8", flowsim.MPTCP8, src.SplitN("ft", i), 1) / float64(trials)
+	ftKit := newTransportKit(ft, workers)
+	ftVals := parallel.MapWorker(workers, trials, func(worker, i int) float64 {
+		return ftKit.simMean(worker, "ecmp8", flowsim.MPTCP8, src.SplitN("ft", i)) / float64(trials)
 	})
-	switches := ft.NumSwitches()
-	feasible := func(servers int) bool {
-		if servers > switches*(k-1) {
-			return false
-		}
-		tp := parallel.SumFloat64(workers, trials, func(i int) float64 {
-			tsrc := src.SplitN(fmt.Sprintf("jf%d", servers), i)
-			jf := spread(switches, k, servers, tsrc.Split("topo"))
-			return simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("sim"), 1) / float64(trials)
-		})
-		return tp >= ftTp
+	for _, v := range ftVals {
+		ftTp += v
 	}
+	switches := ft.NumSwitches()
 	// Search down from half the fat-tree's size so that configurations
 	// where jellyfish cannot quite match the fat-tree (small k, weak
 	// network degree) still report their true maximum.
-	jfServers = maxServersFullCapacity(ftServers/2, switches*(k-1), feasible)
+	lo, hi := ftServers/2, switches*(k-1)
+	fam := capsearch.NewFamily(spread(switches, k, lo, src.SplitN("topo", lo)), src.Split("grow"))
+	trafficSrc := src.Split("cycle")
+	sims := make([]*flowsim.Sim, parallel.Workers(workers))
+	for i := range sims {
+		sims[i] = flowsim.NewSim(switches, hi)
+	}
+	feasible := func(servers int) bool {
+		if servers > hi {
+			return false
+		}
+		top := fam.At(servers)
+		assign := fam.Assign(servers)
+		compiled := routing.NewCompiled(top.Graph)
+		vals := parallel.MapWorker(workers, trials, func(worker, i int) float64 {
+			pat := traffic.NestedCycle(assign, trafficSrc.SplitN("trial", i))
+			table := compiledTable(compiled, pat, "ksp8", nil, 1)
+			return sims[worker].Simulate(pat.Flows, table, flowsim.MPTCP8, nil).Mean() / float64(trials)
+		})
+		tp := 0.0
+		for _, v := range vals {
+			tp += v
+		}
+		return tp >= ftTp
+	}
+	jfServers = maxServersFullCapacity(lo, hi, feasible)
 	return ftServers, jfServers, ftTp
 }
 
@@ -267,10 +348,11 @@ func Fig12Stability(opt Options) *Table {
 		k := ks[i]
 		ksrc := src.Split(fmt.Sprintf("k%d", k))
 		ft := topology.FatTree(k)
+		ftKit := newTransportKit(ft, w) // fixed across trials; jf is redrawn per trial
 		jfServers := int(float64(ft.NumServers()) * jfExtra)
-		perTrial := parallel.Map(w, trials, func(i int) [2]float64 {
+		perTrial := parallel.MapWorker(w, trials, func(worker, i int) [2]float64 {
 			tsrc := ksrc.SplitN("trial", i)
-			ftTp := simMean(ft, "ecmp8", flowsim.MPTCP8, tsrc.Split("ft"), 1)
+			ftTp := ftKit.simMean(worker, "ecmp8", flowsim.MPTCP8, tsrc.Split("ft"))
 			jf := spread(ft.NumSwitches(), k, jfServers, tsrc.Split("jf-topo"))
 			return [2]float64{ftTp, simMean(jf, "ksp8", flowsim.MPTCP8, tsrc.Split("jf"), 1)}
 		})
@@ -303,7 +385,9 @@ func Fig13Fairness(opt Options) *Table {
 	run := func(top *topology.Topology, scheme string, s *rng.Source) []float64 {
 		pat := traffic.RandomPermutation(top.ServerSwitches(), s.Split("traffic"))
 		table := routeTable(top, pat, scheme, s.Split("routes"), w)
-		return flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, s.Split("sim")).FlowRate
+		// MPTCP8 consumes no randomness; no dead "sim" split (flowsim's
+		// stream contract).
+		return flowsim.Simulate(pat.Flows, table, flowsim.MPTCP8, nil).FlowRate
 	}
 	rates := parallel.Map(w, 2, func(i int) []float64 {
 		if i == 0 {

@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"sort"
-)
+import "container/heap"
 
 // A Path is a loopless vertex sequence from Path[0] to Path[len-1].
 type Path []int
@@ -26,69 +23,15 @@ func (p Path) Equal(q Path) bool {
 
 // KShortestPaths returns up to k loopless shortest paths from src to dst in
 // nondecreasing hop-count order, using Yen's ranking algorithm [Yen 1971]
-// with a BFS/Dijkstra inner subroutine on the unweighted graph. Ties are
-// broken deterministically by lexicographic vertex order so results are
+// with a BFS inner subroutine on the unweighted graph. Ties are broken
+// deterministically by lexicographic vertex order so results are
 // reproducible. It returns nil if dst is unreachable.
+//
+// This one-shot form builds fresh scratch per call; callers computing
+// many pairs on one graph should hold a KSPEngine (or go through
+// routing.Compiled) to reuse it.
 func (g *Graph) KShortestPaths(src, dst, k int) []Path {
-	if k <= 0 {
-		return nil
-	}
-	first := g.maskedShortestPath(src, dst, nil, nil)
-	if first == nil {
-		return nil
-	}
-	paths := []Path{first}
-	// Candidate pool, kept sorted by (length, lexicographic).
-	var candidates []Path
-	removedEdges := make(map[Edge]bool)
-	removedNodes := make(map[int]bool)
-
-	for len(paths) < k {
-		prev := paths[len(paths)-1]
-		// Spur from every node of the previous path except the terminal.
-		for i := 0; i < len(prev)-1; i++ {
-			spurNode := prev[i]
-			rootPath := prev[:i+1]
-
-			clearMap(removedEdges)
-			clearNodeMap(removedNodes)
-			// Remove edges that would recreate an already-accepted path
-			// sharing this root.
-			for _, p := range paths {
-				if len(p) > i && samePrefix(p, rootPath) {
-					removedEdges[Canon(p[i], p[i+1])] = true
-				}
-			}
-			for _, p := range candidates {
-				if len(p) > i && samePrefix(p, rootPath) {
-					removedEdges[Canon(p[i], p[i+1])] = true
-				}
-			}
-			// Remove root-path nodes (except the spur node) to keep
-			// paths loopless.
-			for _, v := range rootPath[:len(rootPath)-1] {
-				removedNodes[v] = true
-			}
-
-			spurPath := g.maskedShortestPath(spurNode, dst, removedNodes, removedEdges)
-			if spurPath == nil {
-				continue
-			}
-			total := make(Path, 0, i+len(spurPath))
-			total = append(total, rootPath...)
-			total = append(total, spurPath[1:]...)
-			if !containsPath(paths, total) && !containsPath(candidates, total) {
-				candidates = append(candidates, total)
-			}
-		}
-		if len(candidates) == 0 {
-			break
-		}
-		sort.Slice(candidates, func(a, b int) bool { return lessPath(candidates[a], candidates[b]) })
-		paths = append(paths, candidates[0])
-		candidates = candidates[1:]
-	}
-	return paths
+	return NewKSPEngine(g).Paths(src, dst, k)
 }
 
 func samePrefix(p Path, root Path) bool {
@@ -122,66 +65,6 @@ func lessPath(a, b Path) bool {
 		}
 	}
 	return false
-}
-
-func clearMap(m map[Edge]bool) {
-	for k := range m {
-		delete(m, k)
-	}
-}
-func clearNodeMap(m map[int]bool) {
-	for k := range m {
-		delete(m, k)
-	}
-}
-
-// maskedShortestPath finds one shortest path from src to dst avoiding the
-// given nodes and edges, breaking ties lexicographically. Returns nil if no
-// path exists.
-func (g *Graph) maskedShortestPath(src, dst int, skipNode map[int]bool, skipEdge map[Edge]bool) Path {
-	if skipNode[src] || skipNode[dst] {
-		return nil
-	}
-	if src == dst {
-		return Path{src}
-	}
-	n := g.N()
-	dist := make([]int, n)
-	parent := make([]int, n)
-	for i := range dist {
-		dist[i] = Unreachable
-		parent[i] = -1
-	}
-	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if u == dst {
-			break
-		}
-		for _, v := range g.adj[u] {
-			if dist[v] != Unreachable || skipNode[v] {
-				continue
-			}
-			if len(skipEdge) > 0 && skipEdge[Canon(u, v)] {
-				continue
-			}
-			dist[v] = dist[u] + 1
-			parent[v] = u
-			queue = append(queue, v)
-		}
-	}
-	if dist[dst] == Unreachable {
-		return nil
-	}
-	path := make(Path, dist[dst]+1)
-	cur := dst
-	for i := len(path) - 1; i >= 0; i-- {
-		path[i] = cur
-		cur = parent[cur]
-	}
-	return path
 }
 
 // ---- Weighted Dijkstra (used by flow algorithms over derived weights) ----

@@ -1,0 +1,210 @@
+package graph
+
+import "sort"
+
+// A KSPEngine computes loopless k-shortest paths with reusable flat
+// scratch: epoch-stamped visited/mask arrays, a preallocated BFS ring
+// queue, and a compact masked-edge list replace the per-call maps and
+// slices of the one-shot algorithm. Results are bit-identical to
+// Graph.KShortestPaths (which delegates here); only the wall-clock and
+// allocation profile differ. The returned paths are freshly allocated and
+// owned by the caller; everything else is engine scratch.
+//
+// An engine is bound to one graph and is NOT safe for concurrent use —
+// give each worker goroutine its own (routing.Compiled does exactly
+// that). Mutating the graph between calls is allowed: the scratch carries
+// no cross-call state beyond its epoch counter, so the next call simply
+// observes the new adjacency.
+type KSPEngine struct {
+	g     *Graph
+	epoch uint32
+	// BFS scratch, valid where stamp == epoch.
+	seen   []uint32
+	dist   []int32
+	parent []int32
+	queue  []int32
+	// Spur masks, valid where stamp == epoch.
+	skipNode []uint32
+	// Masked neighbors of the current spur node. Every edge Yen masks is
+	// p[i]→p[i+1] of a path sharing the spur root — always incident to
+	// the spur node — so the mask is a handful of neighbor ids checked
+	// only when the BFS expands its source.
+	maskedNbrs []int32
+	candidates []Path
+}
+
+// NewKSPEngine returns an engine for g. O(N) memory; cheap enough to
+// build one per worker, too expensive to build one per pair.
+func NewKSPEngine(g *Graph) *KSPEngine {
+	return &KSPEngine{g: g}
+}
+
+// bump starts a new epoch, invalidating all stamps at once. On the
+// (practically unreachable) wraparound the stamp arrays are cleared so
+// stale stamps from 4 billion spurs ago cannot alias the new epoch.
+func (e *KSPEngine) bump() {
+	e.epoch++
+	if e.epoch == 0 {
+		clear(e.seen)
+		clear(e.skipNode)
+		e.epoch = 1
+	}
+}
+
+func (e *KSPEngine) ensure() {
+	n := e.g.N()
+	if len(e.seen) >= n {
+		return
+	}
+	e.seen = make([]uint32, n)
+	e.dist = make([]int32, n)
+	e.parent = make([]int32, n)
+	e.queue = make([]int32, n)
+	e.skipNode = make([]uint32, n)
+	e.epoch = 0
+}
+
+// Paths returns up to k loopless shortest src→dst paths in nondecreasing
+// hop-count order with lexicographic tie-breaks — the same contract, and
+// the same bytes, as Graph.KShortestPaths.
+func (e *KSPEngine) Paths(src, dst, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	e.ensure()
+	e.maskedNbrs = e.maskedNbrs[:0]
+	e.bump()
+	first := e.bfs(src, dst, false)
+	if first == nil {
+		return nil
+	}
+	paths := []Path{first}
+	candidates := e.candidates[:0]
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+
+			e.bump()
+			e.maskedNbrs = e.maskedNbrs[:0]
+			// Mask edges that would recreate an already-known path
+			// sharing this root (p[i] is the spur node for all of them),
+			// then the root's interior nodes.
+			for _, p := range paths {
+				if len(p) > i && samePrefix(p, rootPath) {
+					e.maskNbr(p[i+1])
+				}
+			}
+			for _, p := range candidates {
+				if len(p) > i && samePrefix(p, rootPath) {
+					e.maskNbr(p[i+1])
+				}
+			}
+			for _, v := range rootPath[:len(rootPath)-1] {
+				e.skipNode[v] = e.epoch
+			}
+
+			spurPath := e.bfs(spurNode, dst, true)
+			if spurPath == nil {
+				continue
+			}
+			total := make(Path, 0, i+len(spurPath))
+			total = append(total, rootPath...)
+			total = append(total, spurPath[1:]...)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return lessPath(candidates[a], candidates[b]) })
+		paths = append(paths, candidates[0])
+		candidates = append(candidates[:0], candidates[1:]...)
+	}
+	// Keep the slice's capacity but actually drop the Path references it
+	// accumulated (including slots past len from the pop-front shifts),
+	// so a long-lived engine doesn't pin a large ranking round's memory.
+	clear(candidates[:cap(candidates)])
+	e.candidates = candidates[:0]
+	return paths
+}
+
+func (e *KSPEngine) maskNbr(v int) {
+	for _, m := range e.maskedNbrs {
+		if m == int32(v) {
+			return
+		}
+	}
+	e.maskedNbrs = append(e.maskedNbrs, int32(v))
+}
+
+func (e *KSPEngine) nbrMasked(v int) bool {
+	for _, m := range e.maskedNbrs {
+		if m == int32(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// bfs finds one shortest src→dst path under the current epoch's masks,
+// breaking ties lexicographically (FIFO order over sorted adjacency —
+// exactly the one-shot maskedShortestPath's rule; dst's parent is fixed
+// at discovery, so the search stops there). masked selects whether the
+// spur masks apply; the first path of a pair runs unmasked. Edge masks
+// apply only to expansions of src itself: every masked edge is incident
+// to the spur node, and its far endpoint is src's neighbor (traversals
+// back into src are impossible — src is already seen).
+func (e *KSPEngine) bfs(src, dst int, masked bool) Path {
+	if masked && (e.skipNode[src] == e.epoch || e.skipNode[dst] == e.epoch) {
+		return nil
+	}
+	if src == dst {
+		return Path{src}
+	}
+	g := e.g
+	ep := e.epoch
+	e.seen[src] = ep
+	e.dist[src] = 0
+	e.parent[src] = -1
+	q := e.queue
+	q[0] = int32(src)
+	head, tail := 0, 1
+	found := false
+	for head < tail && !found {
+		u := int(q[head])
+		head++
+		du := e.dist[u]
+		edgeMasks := masked && u == src && len(e.maskedNbrs) > 0
+		for _, v := range g.adj[u] {
+			if e.seen[v] == ep || (masked && e.skipNode[v] == ep) {
+				continue
+			}
+			if edgeMasks && e.nbrMasked(v) {
+				continue
+			}
+			e.seen[v] = ep
+			e.dist[v] = du + 1
+			e.parent[v] = int32(u)
+			if v == dst {
+				found = true
+				break
+			}
+			q[tail] = int32(v)
+			tail++
+		}
+	}
+	if !found {
+		return nil
+	}
+	path := make(Path, e.dist[dst]+1)
+	cur := dst
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i] = cur
+		cur = int(e.parent[cur])
+	}
+	return path
+}

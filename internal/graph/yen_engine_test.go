@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// kShortestPathsReference is the pre-engine one-shot implementation
+// (per-call maps and slices), kept verbatim as the oracle for the
+// engine's bit-identity contract: KSPEngine.Paths must return exactly
+// these paths in exactly this order.
+func kShortestPathsReference(g *Graph, src, dst, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first := refMaskedShortestPath(g, src, dst, nil, nil)
+	if first == nil {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+	removedEdges := make(map[Edge]bool)
+	removedNodes := make(map[int]bool)
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+
+			clear(removedEdges)
+			clear(removedNodes)
+			for _, p := range paths {
+				if len(p) > i && samePrefix(p, rootPath) {
+					removedEdges[Canon(p[i], p[i+1])] = true
+				}
+			}
+			for _, p := range candidates {
+				if len(p) > i && samePrefix(p, rootPath) {
+					removedEdges[Canon(p[i], p[i+1])] = true
+				}
+			}
+			for _, v := range rootPath[:len(rootPath)-1] {
+				removedNodes[v] = true
+			}
+
+			spurPath := refMaskedShortestPath(g, spurNode, dst, removedNodes, removedEdges)
+			if spurPath == nil {
+				continue
+			}
+			total := make(Path, 0, i+len(spurPath))
+			total = append(total, rootPath...)
+			total = append(total, spurPath[1:]...)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return lessPath(candidates[a], candidates[b]) })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func refMaskedShortestPath(g *Graph, src, dst int, skipNode map[int]bool, skipEdge map[Edge]bool) Path {
+	if skipNode[src] || skipNode[dst] {
+		return nil
+	}
+	if src == dst {
+		return Path{src}
+	}
+	n := g.N()
+	dist := make([]int, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = Unreachable
+		parent[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, v := range g.adj[u] {
+			if dist[v] != Unreachable || skipNode[v] {
+				continue
+			}
+			if len(skipEdge) > 0 && skipEdge[Canon(u, v)] {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			parent[v] = u
+			queue = append(queue, v)
+		}
+	}
+	if dist[dst] == Unreachable {
+		return nil
+	}
+	path := make(Path, dist[dst]+1)
+	cur := dst
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i] = cur
+		cur = parent[cur]
+	}
+	return path
+}
+
+func randomConnectedGraph(n, extraEdges int, r *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, r.Intn(v))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// The engine's whole value proposition is scratch reuse without
+// observable effect: one engine driven across many pairs, many k values,
+// and interleaved sparse/dense graphs must reproduce the reference
+// algorithm byte for byte.
+func TestKSPEngineMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		n := 8 + r.Intn(25)
+		g := randomConnectedGraph(n, n+r.Intn(3*n), r)
+		eng := NewKSPEngine(g)
+		for pair := 0; pair < 40; pair++ {
+			src, dst := r.Intn(n), r.Intn(n)
+			k := 1 + r.Intn(10)
+			want := kShortestPathsReference(g, src, dst, k)
+			got := eng.Paths(src, dst, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d %d->%d k=%d: %d paths, want %d", n, src, dst, k, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("n=%d %d->%d k=%d: path %d = %v, want %v", n, src, dst, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// One-shot KShortestPaths delegates to the engine; pin the delegation on
+// a disconnected pair and the trivial same-node pair.
+func TestKSPEngineEdgeCases(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if got := g.KShortestPaths(0, 3, 4); got != nil {
+		t.Fatalf("disconnected pair returned %v", got)
+	}
+	eng := NewKSPEngine(g)
+	if got := eng.Paths(2, 2, 3); len(got) != 1 || !got[0].Equal(Path{2}) {
+		t.Fatalf("self pair returned %v", got)
+	}
+	if got := eng.Paths(0, 1, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+// The engine must observe graph mutations made between calls (the
+// incremental-family searches rewire links between probes).
+func TestKSPEngineSeesMutations(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	eng := NewKSPEngine(g)
+	if got := eng.Paths(0, 3, 2); len(got) != 1 {
+		t.Fatalf("before mutation: %v", got)
+	}
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	got := eng.Paths(0, 3, 4)
+	want := kShortestPathsReference(g, 0, 3, 4)
+	if len(got) != len(want) {
+		t.Fatalf("after mutation: %v, want %v", got, want)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("after mutation path %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //
 // The model, deliberately compact but mechanically faithful:
 //
-//   - Every directed switch-switch link and every server NIC is a Link
+//   - Every directed switch-switch link and every server NIC is a link
 //     with a fixed packet service time (1/line-rate) and a bounded FIFO
 //     queue; packets are dropped at the tail when the queue is full.
 //   - A flow is one or more subflows, each source-routed along a fixed
@@ -26,11 +26,18 @@
 // Time is in packet service units of the line rate: one unit = the time a
 // NIC needs to serialize one MSS. Goodput per flow is measured over the
 // second half of the run (the first half warms up).
+//
+// The event queue is a hand-inlined 4-ary heap of indices into a flat
+// event arena with a free-list — no container/heap boxing, no allocation
+// per event. Simultaneous events are ordered by injection sequence
+// (FIFO), making the event order — and so every result — a fully
+// specified function of the inputs. Like flowsim, the compiled Sim form
+// reuses all scratch across calls and runs the event loop at zero
+// steady-state allocations (TestPacketZeroAllocs pins it).
 package packetsim
 
 import (
-	"container/heap"
-
+	"jellyfish/internal/resarena"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/routing"
 	"jellyfish/internal/traffic"
@@ -86,171 +93,159 @@ func (r Result) Mean() float64 {
 	return s / float64(len(r.FlowGoodput))
 }
 
-// link is a unit-rate transmission resource with a drop-tail queue. With
-// unit-size packets, the number of packets in the system at time t is
-// exactly busyUntil − t service times, so no explicit queue is needed.
-type link struct {
-	busyUntil float64
-	capQueue  int
-}
-
-// subflow is one AIMD congestion-window instance pinned to a path.
+// subflow is one AIMD congestion-window instance pinned to a path. Its
+// links live in the Sim's flat subLinkIDs pool at [linkStart, linkEnd).
 type subflow struct {
-	flow     int
-	links    []int // link IDs along the path, in order (incl. NICs)
-	cwnd     float64
-	ssthresh float64
-	inFlight int
-	// delivered counts packets ACKed after warmup.
-	delivered   int
-	lossPending bool
+	flow               int32
+	linkStart, linkEnd int32
+	inFlight           int32
+	delivered          int32
+	lossPending        bool
+	cwnd               float64
+	ssthresh           float64
 }
 
-type evKind int
+type evKind uint8
 
 const (
 	evArrive evKind = iota // packet reaches head of link l, begins service
 	evAck                  // ACK returns to the sender
 )
 
+// event is one arena slot. seq breaks time ties FIFO, fully specifying
+// the simulation order.
 type event struct {
-	t    time_
+	t    float64
+	seq  uint64
+	sub  int32
+	hop  int32
 	kind evKind
-	sub  int
-	hop  int
 	drop bool
 }
 
-type time_ = float64
+// A Sim is a compiled, reusable packet simulator instance; see the
+// package comment. Not safe for concurrent use — one per worker
+// goroutine. Reuse across different topologies and tables is safe and
+// bit-identical to a fresh instance (link identity is keyed by server id
+// and directed switch pair, with per-call busy-state invalidated by
+// generation stamp).
+type Sim struct {
+	arena resarena.Arena
 
-type eventHeap []event
+	// busyUntil per link arena id; valid where gen == curGen. With
+	// unit-size packets the queue length at time t is exactly
+	// busyUntil − t service times, so no explicit queue is needed.
+	busy   []float64
+	gen    []uint32
+	curGen uint32
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	subs         []subflow
+	subLinkIDs   []int32
+	flowSubStart []int32 // subflows of flow fi: [start[fi], start[fi+1])
+
+	events []event
+	free   []int32
+	heap   []heapEntry
+	seq    uint64
+
+	cfg    Config
+	warmup float64
+
+	rates []float64
+	local []bool
+}
+
+// NewSim returns a Sim pre-sized for the given switch and server counts
+// (both lower bounds; the arena grows on demand).
+func NewSim(switches, servers int) *Sim {
+	s := &Sim{}
+	s.arena.EnsureSwitches(switches)
+	s.arena.EnsureServers(servers)
+	return s
 }
 
 // Simulate runs the packet simulation for the given flows over the route
 // table. proto semantics match flowsim: TCP1 = one subflow on a hashed
 // route, TCP8 = eight independent subflows on hashed routes, MPTCP8 =
 // eight coupled subflows on distinct routes.
-func Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config, src *rng.Source) Result {
-	cfg := cfgIn.withDefaults()
-
-	// Link registry: NICs and directed switch links.
-	linkID := map[[2]int]int{}
-	var links []link
-	getLink := func(key [2]int) int {
-		if id, ok := linkID[key]; ok {
-			return id
-		}
-		links = append(links, link{capQueue: cfg.QueuePackets})
-		linkID[key] = len(links) - 1
-		return len(links) - 1
+//
+// The returned Result aliases the instance's goodput buffer: it is valid
+// until the next Simulate call on this Sim.
+func (s *Sim) Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config, src *rng.Source) Result {
+	s.cfg = cfgIn.withDefaults()
+	s.warmup = s.cfg.Horizon / 2
+	s.curGen++
+	if s.curGen == 0 {
+		clear(s.gen)
+		s.curGen = 1
 	}
+	s.rates = resarena.Grow(s.rates, len(flows))
+	s.local = resarena.Grow(s.local, len(flows))
+	for i := range s.rates {
+		s.rates[i] = 0
+	}
+	for i := range s.local {
+		s.local[i] = false
+	}
+	s.subs = s.subs[:0]
+	s.subLinkIDs = s.subLinkIDs[:0]
+	s.flowSubStart = resarena.Grow(s.flowSubStart, len(flows)+1)
+	s.flowSubStart[0] = 0
 
-	var subs []subflow
-	flowRate := make([]float64, len(flows))
-	local := make([]bool, len(flows))
-	flowSubs := make([][]int, len(flows))
-
-	for fi, f := range flows {
+	for fi := range flows {
+		f := &flows[fi]
 		if f.SrcSwitch == f.DstSwitch {
-			local[fi] = true
-			flowRate[fi] = 1
+			s.local[fi] = true
+			s.rates[fi] = 1
+			s.flowSubStart[fi+1] = s.flowSubStart[fi]
 			continue
 		}
 		paths := table.PathsFor(f.SrcSwitch, f.DstSwitch)
 		if len(paths) == 0 {
+			s.flowSubStart[fi+1] = s.flowSubStart[fi]
 			continue
 		}
-		n := cfg.Subflows
-		for s := 0; s < n; s++ {
+		for k := 0; k < s.cfg.Subflows; k++ {
 			var p []int
-			if cfg.Coupled {
-				p = paths[s%len(paths)]
+			if s.cfg.Coupled {
+				p = paths[k%len(paths)]
 			} else {
 				p = paths[src.Intn(len(paths))]
 			}
-			ls := []int{getLink([2]int{-1, f.SrcServer})}
+			start := int32(len(s.subLinkIDs))
+			s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.SrcNIC(f.SrcServer)))
 			for i := 0; i+1 < len(p); i++ {
-				ls = append(ls, getLink([2]int{p[i], p[i+1]}))
+				s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.Link(p[i], p[i+1])))
 			}
-			ls = append(ls, getLink([2]int{-2, f.DstServer}))
-			subs = append(subs, subflow{
-				flow: fi, links: ls, cwnd: 2, ssthresh: 32,
+			s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.DstNIC(f.DstServer)))
+			s.subs = append(s.subs, subflow{
+				flow: int32(fi), linkStart: start, linkEnd: int32(len(s.subLinkIDs)),
+				cwnd: 2, ssthresh: 32,
 			})
-			flowSubs[fi] = append(flowSubs[fi], len(subs)-1)
 		}
+		s.flowSubStart[fi+1] = int32(len(s.subs))
 	}
 
-	events := &eventHeap{}
-	warmup := cfg.Horizon / 2
+	s.events = s.events[:0]
+	s.free = s.free[:0]
+	s.heap = s.heap[:0]
+	s.seq = 0
 
-	// inject sends packets for subflow si until cwnd is filled.
-	var inject func(now float64, si int)
-	inject = func(now float64, si int) {
-		sf := &subs[si]
-		for sf.inFlight < int(sf.cwnd) {
-			sf.inFlight++
-			heap.Push(events, event{t: now, kind: evArrive, sub: si, hop: 0})
-		}
+	for si := range s.subs {
+		s.inject(0, int32(si))
 	}
 
-	// serve enqueues the packet at links[hop] (or drops it at the tail).
-	serve := func(now float64, si, hop int) {
-		sf := &subs[si]
-		l := &links[sf.links[hop]]
-		backlog := l.busyUntil - now
-		if backlog < 0 {
-			backlog = 0
-		}
-		if backlog >= float64(l.capQueue) {
-			// Drop-tail: the sender learns via duplicate ACKs after the
-			// one-way delay accumulated so far.
-			heap.Push(events, event{t: now + cfg.PropDelay*float64(hop+1), kind: evAck, sub: si, drop: true})
-			return
-		}
-		done := now + backlog + 1 // queueing + one service time
-		l.busyUntil = done
-		if hop+1 < len(sf.links) {
-			heap.Push(events, event{t: done + cfg.PropDelay, kind: evArrive, sub: si, hop: hop + 1})
-		} else {
-			heap.Push(events, event{t: done + cfg.PropDelay, kind: evAck, sub: si})
-		}
-	}
-
-	coupledIncrease := func(fi int) float64 {
-		var wtot float64
-		for _, si := range flowSubs[fi] {
-			wtot += subs[si].cwnd
-		}
-		if wtot < 1 {
-			wtot = 1
-		}
-		return 1 / wtot
-	}
-
-	for si := range subs {
-		inject(0, si)
-	}
-
-	for events.Len() > 0 {
-		ev := heap.Pop(events).(event)
-		if ev.t > cfg.Horizon {
+	for len(s.heap) > 0 {
+		ei := s.pop()
+		ev := s.events[ei]
+		s.free = append(s.free, ei)
+		if ev.t > s.cfg.Horizon {
 			break
 		}
-		sf := &subs[ev.sub]
+		sf := &s.subs[ev.sub]
 		switch ev.kind {
 		case evArrive:
-			serve(ev.t, ev.sub, ev.hop)
+			s.serve(ev.t, ev.sub, ev.hop)
 		case evAck:
 			sf.inFlight--
 			if ev.drop {
@@ -265,29 +260,174 @@ func Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config, src *rng
 				}
 			} else {
 				sf.lossPending = false
-				if ev.t > warmup {
+				if ev.t > s.warmup {
 					sf.delivered++
 				}
 				if sf.cwnd < sf.ssthresh {
 					sf.cwnd++ // slow start
-				} else if cfg.Coupled {
-					sf.cwnd += coupledIncrease(sf.flow)
+				} else if s.cfg.Coupled {
+					sf.cwnd += s.coupledIncrease(sf.flow)
 				} else {
 					sf.cwnd += 1 / sf.cwnd // congestion avoidance
 				}
 			}
-			inject(ev.t, ev.sub)
+			s.inject(ev.t, ev.sub)
 		}
 	}
 
-	window := cfg.Horizon - warmup
-	for si := range subs {
-		flowRate[subs[si].flow] += float64(subs[si].delivered) / window
+	window := s.cfg.Horizon - s.warmup
+	for si := range s.subs {
+		s.rates[s.subs[si].flow] += float64(s.subs[si].delivered) / window
 	}
-	for fi := range flowRate {
-		if !local[fi] && flowRate[fi] > 1 {
-			flowRate[fi] = 1
+	for fi := range s.rates {
+		if !s.local[fi] && s.rates[fi] > 1 {
+			s.rates[fi] = 1
 		}
 	}
-	return Result{FlowGoodput: flowRate}
+	return Result{FlowGoodput: s.rates}
+}
+
+// Simulate is the one-shot form: it builds a throwaway Sim. Use a Sim for
+// repeated simulation.
+func Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config, src *rng.Source) Result {
+	return new(Sim).Simulate(flows, table, cfgIn, src)
+}
+
+// touch grows the busy-state tables to cover link arena id r and resets
+// its state on first touch of the current call.
+func (s *Sim) touch(r int32) int32 {
+	for int(r) >= len(s.gen) {
+		s.gen = append(s.gen, 0)
+		s.busy = append(s.busy, 0)
+	}
+	if s.gen[r] != s.curGen {
+		s.gen[r] = s.curGen
+		s.busy[r] = 0
+	}
+	return r
+}
+
+// inject sends packets for subflow si until its window is filled.
+func (s *Sim) inject(now float64, si int32) {
+	sf := &s.subs[si]
+	for sf.inFlight < int32(sf.cwnd) {
+		sf.inFlight++
+		s.push(event{t: now, kind: evArrive, sub: si, hop: 0})
+	}
+}
+
+// serve enqueues the packet at the subflow's hop-th link (or drops it at
+// the tail).
+func (s *Sim) serve(now float64, si, hop int32) {
+	sf := &s.subs[si]
+	l := s.subLinkIDs[sf.linkStart+hop]
+	backlog := s.busy[l] - now
+	if backlog < 0 {
+		backlog = 0
+	}
+	if backlog >= float64(s.cfg.QueuePackets) {
+		// Drop-tail: the sender learns via duplicate ACKs after the
+		// one-way delay accumulated so far.
+		s.push(event{t: now + s.cfg.PropDelay*float64(hop+1), kind: evAck, sub: si, drop: true})
+		return
+	}
+	done := now + backlog + 1 // queueing + one service time
+	s.busy[l] = done
+	if sf.linkStart+hop+1 < sf.linkEnd {
+		s.push(event{t: done + s.cfg.PropDelay, kind: evArrive, sub: si, hop: hop + 1})
+	} else {
+		s.push(event{t: done + s.cfg.PropDelay, kind: evAck, sub: si})
+	}
+}
+
+func (s *Sim) coupledIncrease(fi int32) float64 {
+	var wtot float64
+	for si := s.flowSubStart[fi]; si < s.flowSubStart[fi+1]; si++ {
+		wtot += s.subs[si].cwnd
+	}
+	if wtot < 1 {
+		wtot = 1
+	}
+	return 1 / wtot
+}
+
+// ---- event arena + 4-ary index heap ----
+
+// heapEntry carries the ordering key (time, injection sequence) alongside
+// the arena index, so heap comparisons never chase pointers into the
+// arena — sifts stay within the contiguous heap array.
+type heapEntry struct {
+	t   float64
+	seq uint64
+	ei  int32
+}
+
+func (a heapEntry) less(b heapEntry) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
+}
+
+// push stores ev in a free arena slot (or a new one) and sifts its entry
+// up the heap.
+func (s *Sim) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	var ei int32
+	if n := len(s.free); n > 0 {
+		ei = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.events[ei] = ev
+	} else {
+		ei = int32(len(s.events))
+		s.events = append(s.events, ev)
+	}
+	e := heapEntry{t: ev.t, seq: ev.seq, ei: ei}
+	h := s.heap
+	i := len(h)
+	h = append(h, e)
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+	s.heap = h
+}
+
+// pop removes and returns the arena index of the earliest event. The
+// caller reads the slot and returns it to the free-list.
+func (s *Sim) pop() int32 {
+	h := s.heap
+	top := h[0].ei
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	if len(h) > 0 {
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= len(h) {
+				break
+			}
+			best := first
+			end := first + 4
+			if end > len(h) {
+				end = len(h)
+			}
+			for c := first + 1; c < end; c++ {
+				if h[c].less(h[best]) {
+					best = c
+				}
+			}
+			if !h[best].less(last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	s.heap = h
+	return top
 }

@@ -1,0 +1,103 @@
+package packetsim
+
+import (
+	"testing"
+
+	"jellyfish/internal/rng"
+	"jellyfish/internal/routing"
+	"jellyfish/internal/topology"
+	"jellyfish/internal/traffic"
+)
+
+type instance struct {
+	flows []traffic.Flow
+	table *routing.Table
+}
+
+func jellyfishInstance(switches, ports, deg int, seed uint64) instance {
+	top := topology.Jellyfish(switches, ports, deg, rng.New(seed))
+	pat := traffic.RandomPermutation(top.ServerSwitches(), rng.New(seed+1))
+	var sd [][2]int
+	for _, f := range pat.Flows {
+		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
+	}
+	return instance{flows: pat.Flows, table: routing.KShortest(top.Graph, routing.PairsForCommodities(sd), 8, 1)}
+}
+
+// One Sim reused across differing instances and configs must reproduce
+// one-shot results bit for bit — the compiled-instance contract.
+func TestSimReuseMatchesOneShot(t *testing.T) {
+	instances := []instance{
+		jellyfishInstance(15, 8, 5, 10),
+		jellyfishInstance(20, 10, 7, 20),
+		jellyfishInstance(15, 8, 5, 10),
+	}
+	cfgs := []Config{
+		{Subflows: 1, Horizon: 1500},
+		{Subflows: 8, Coupled: true, Horizon: 1500},
+	}
+	sim := NewSim(2, 2) // deliberately undersized: growth must be safe
+	for round := 0; round < 2; round++ {
+		for ii, in := range instances {
+			for ci, cfg := range cfgs {
+				want := Simulate(in.flows, in.table, cfg, rng.New(33))
+				got := sim.Simulate(in.flows, in.table, cfg, rng.New(33))
+				if len(got.FlowGoodput) != len(want.FlowGoodput) {
+					t.Fatalf("round %d instance %d cfg %d: lengths differ", round, ii, ci)
+				}
+				for i := range want.FlowGoodput {
+					if got.FlowGoodput[i] != want.FlowGoodput[i] {
+						t.Fatalf("round %d instance %d cfg %d flow %d: reuse %v != one-shot %v",
+							round, ii, ci, i, got.FlowGoodput[i], want.FlowGoodput[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The event loop's zero-allocation pin: after warm-up, a full simulation
+// on a compiled instance — millions of heap operations — allocates
+// nothing. The event arena free-list and the index heap are what make
+// this hold; container/heap's interface boxing allocated per push.
+func TestPacketZeroAllocs(t *testing.T) {
+	in := jellyfishInstance(15, 8, 5, 42)
+	sim := NewSim(15, len(in.flows))
+	cfg := Config{Subflows: 8, Coupled: true, Horizon: 800}
+	src := rng.New(5)
+	sim.Simulate(in.flows, in.table, cfg, src)
+	allocs := testing.AllocsPerRun(5, func() {
+		sim.Simulate(in.flows, in.table, cfg, src)
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per steady-state Simulate, want 0", allocs)
+	}
+}
+
+// The heap must be a strict priority queue under the documented
+// (time, sequence) order: drain a shuffled workload and check sorted
+// output with FIFO tie-breaks.
+func TestEventHeapOrdering(t *testing.T) {
+	s := &Sim{}
+	src := rng.New(9)
+	times := make([]float64, 500)
+	for i := range times {
+		times[i] = float64(src.Intn(40)) / 8 // force plenty of ties
+		s.push(event{t: times[i], sub: int32(i)})
+	}
+	prevT, prevSeq := -1.0, uint64(0)
+	for i := 0; i < len(times); i++ {
+		ei := s.pop()
+		ev := s.events[ei]
+		if ev.t < prevT {
+			t.Fatalf("pop %d: time %v after %v", i, ev.t, prevT)
+		}
+		if ev.t == prevT && ev.seq < prevSeq {
+			t.Fatalf("pop %d: tie broken against injection order (seq %d after %d)", i, ev.seq, prevSeq)
+		}
+		prevT, prevSeq = ev.t, ev.seq
+	}
+	if len(s.heap) != 0 {
+		t.Fatalf("%d events left in heap", len(s.heap))
+	}
+}

@@ -9,8 +9,8 @@ import (
 	"sort"
 
 	"jellyfish/internal/graph"
-	"jellyfish/internal/parallel"
 	"jellyfish/internal/rng"
+	"jellyfish/internal/traffic"
 )
 
 // A Pair identifies an ordered (srcSwitch, dstSwitch) route-table entry.
@@ -32,17 +32,9 @@ func (t *Table) PathsFor(src, dst int) []graph.Path {
 // KShortest builds a k-shortest-path table for the given pairs using Yen's
 // algorithm on the switch graph. The per-pair computations are independent
 // and fan out over `workers` goroutines (0 = all cores); the table is
-// identical for every worker count.
+// identical for every worker count. One-shot form of Compiled.KShortest.
 func KShortest(g *graph.Graph, pairs []Pair, k, workers int) *Table {
-	t := &Table{Paths: make(map[Pair][]graph.Path, len(pairs)), Kind: kindName("ksp", k)}
-	uniq := dedupPairs(pairs)
-	paths := parallel.Map(workers, len(uniq), func(i int) []graph.Path {
-		return g.KShortestPaths(uniq[i].Src, uniq[i].Dst, k)
-	})
-	for i, p := range uniq {
-		t.Paths[p] = paths[i]
-	}
-	return t
+	return NewCompiled(g).KShortest(pairs, k, workers)
 }
 
 // ECMP builds an equal-cost multipath table: for each pair, up to w
@@ -57,36 +49,7 @@ func KShortest(g *graph.Graph, pairs []Pair, k, workers int) *Table {
 // a shared stream consumed in completion order — so the table is identical
 // for every worker count.
 func ECMP(g *graph.Graph, pairs []Pair, w int, src *rng.Source, workers int) *Table {
-	t := &Table{Paths: make(map[Pair][]graph.Path, len(pairs)), Kind: kindName("ecmp", w)}
-	uniq := dedupPairs(pairs)
-	bySrc := map[int][]int{}
-	for _, p := range uniq {
-		bySrc[p.Src] = append(bySrc[p.Src], p.Dst)
-	}
-	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Ints(srcs)
-	groups := parallel.Map(workers, len(srcs), func(i int) [][]graph.Path {
-		s := srcs[i]
-		ssrc := src.SplitN("ecmp-src", s)
-		dist := g.BFS(s)
-		// npaths[v]: number of shortest s→v paths (saturating float64 —
-		// only ratios are needed for uniform sampling).
-		npaths := pathCounts(g, s, dist)
-		out := make([][]graph.Path, len(bySrc[s]))
-		for j, dst := range bySrc[s] {
-			out[j] = sampleEqualCostPaths(g, s, dst, dist, npaths, w, ssrc)
-		}
-		return out
-	})
-	for i, s := range srcs {
-		for j, dst := range bySrc[s] {
-			t.Paths[Pair{s, dst}] = groups[i][j]
-		}
-	}
-	return t
+	return NewCompiled(g).ECMP(pairs, w, src, workers)
 }
 
 // dedupPairs drops duplicate pairs, keeping first-appearance order.
@@ -265,6 +228,18 @@ func RankedLinkLoads(g *graph.Graph, t *Table) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// PairsForPattern extracts the route-table pairs a traffic pattern needs:
+// the distinct (srcSwitch, dstSwitch) pairs of its flows, same-switch
+// flows dropped. The single definition of "which pairs a pattern routes",
+// shared by the experiment harness and the planning service.
+func PairsForPattern(pat *traffic.Pattern) []Pair {
+	sd := make([][2]int, 0, len(pat.Flows))
+	for _, f := range pat.Flows {
+		sd = append(sd, [2]int{f.SrcSwitch, f.DstSwitch})
+	}
+	return PairsForCommodities(sd)
 }
 
 // PairsForCommodities extracts the distinct switch pairs (src != dst) from

@@ -163,13 +163,29 @@ type DesignResponse struct {
 	Blueprint json.RawMessage `json:"blueprint"`
 }
 
-// EvaluateRequest asks for optimal-routing throughput under
-// random-permutation traffic; trial i evaluates at seed+i, so trials=1
-// at seed s reproduces jellyfish.OptimalThroughput(t, s) exactly.
+// A TransportSpec selects a realizable data plane — a routing scheme plus
+// a congestion-control model from internal/flowsim — instead of the
+// optimal-routing flow solver. Evaluations with a transport spec report
+// what the named protocol actually achieves over the named route tables
+// (Table 1's methodology as a service).
+type TransportSpec struct {
+	// Protocol is "tcp1", "tcp8", or "mptcp8".
+	Protocol string `json:"protocol"`
+	// Routing is "ecmp8", "ecmp64", or "ksp8" (default "ksp8").
+	Routing string `json:"routing,omitempty"`
+}
+
+// EvaluateRequest asks for throughput under random-permutation traffic;
+// trial i evaluates at seed+i, so trials=1 at seed s reproduces
+// jellyfish.OptimalThroughput(t, s) exactly. With Transport set, trials
+// run the flow-level transport simulator over compiled per-topology
+// instances (the "sim:" warm-cache tier) instead of the optimal-routing
+// solver.
 type EvaluateRequest struct {
-	Topology TopologySpec `json:"topology"`
-	Seed     uint64       `json:"seed"`
-	Trials   int          `json:"trials,omitempty"`
+	Topology  TopologySpec   `json:"topology"`
+	Seed      uint64         `json:"seed"`
+	Trials    int            `json:"trials,omitempty"`
+	Transport *TransportSpec `json:"transport,omitempty"`
 }
 
 type EvaluateResponse struct {
@@ -277,6 +293,10 @@ type WhatIfRequest struct {
 	Base      TopologySpec `json:"base"`
 	Seed      uint64       `json:"seed"`
 	Scenarios []Scenario   `json:"scenarios"`
+	// Transport, when set, additionally reports each step's flow-level
+	// transport throughput (TransportThroughput) alongside the optimal-
+	// routing one, reusing the family's compiled simulator instance.
+	Transport *TransportSpec `json:"transport,omitempty"`
 }
 
 type WhatIfStep struct {
@@ -287,6 +307,9 @@ type WhatIfStep struct {
 	Servers     int     `json:"servers"`
 	Links       int     `json:"links"`
 	Throughput  float64 `json:"throughput"`
+	// TransportThroughput is set only when the request named a transport
+	// spec (pointer so legacy responses stay byte-identical).
+	TransportThroughput *float64 `json:"transportThroughput,omitempty"`
 }
 
 type WhatIfResponse struct {
@@ -314,6 +337,8 @@ type StatsResponse struct {
 	ResultMisses int64 `json:"resultMisses"`
 	FamilyHits   int64 `json:"familyHits"`
 	ChainHits    int64 `json:"chainHits"`
+	SimHits      int64 `json:"simHits"`
 	Deduped      int64 `json:"deduped"`
+	SyncRejected int64 `json:"syncRejected"`
 	CacheEntries int   `json:"cacheEntries"`
 }

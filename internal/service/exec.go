@@ -6,7 +6,12 @@ import (
 	"slices"
 
 	"jellyfish"
+	"jellyfish/internal/flowsim"
 	"jellyfish/internal/mcf"
+	"jellyfish/internal/rng"
+	"jellyfish/internal/routing"
+	"jellyfish/internal/topology"
+	"jellyfish/internal/traffic"
 )
 
 // This file turns normalized requests into plans: the executor closures
@@ -20,7 +25,14 @@ import (
 //     digest of the exact (base, seed, scenario-prefix) that produced
 //     them, so resuming from one is bit-identical to replaying it;
 //   - "resp:" entries (scheduler.go) memoize finished response bytes by
-//     canonical request digest.
+//     canonical request digest;
+//   - "sim:" entries hold compiled transport instances (built topology +
+//     routing.Compiled + flowsim.Sim) keyed by the same topology-family
+//     digest the shard router hashes on, so repeated transport
+//     evaluate/what-if requests over one family reuse route tables and
+//     simulator scratch. Reuse is bit-identical to cold state by the
+//     simulator's and compiled router's contracts, so this tier — like
+//     the others — changes wall-clock, never a response.
 
 func planDesign(spec *DesignSpec) (*plan, *apiError) {
 	ts := TopologySpec{Design: spec}
@@ -52,12 +64,112 @@ func planDesign(spec *DesignSpec) (*plan, *apiError) {
 	}, nil
 }
 
+// validate normalizes and checks a transport spec (nil is valid: it
+// selects the optimal-routing solver).
+func (ts *TransportSpec) validate() *apiError {
+	if ts == nil {
+		return nil
+	}
+	switch ts.Protocol {
+	case "tcp1", "tcp8", "mptcp8":
+	default:
+		return badRequest("invalid_config", "transport protocol %q not one of tcp1, tcp8, mptcp8", ts.Protocol)
+	}
+	if ts.Routing == "" {
+		ts.Routing = "ksp8"
+	}
+	switch ts.Routing {
+	case "ecmp8", "ecmp64", "ksp8":
+	default:
+		return badRequest("invalid_config", "transport routing %q not one of ecmp8, ecmp64, ksp8", ts.Routing)
+	}
+	return nil
+}
+
+func (ts *TransportSpec) protocol() flowsim.Protocol {
+	switch ts.Protocol {
+	case "tcp1":
+		return flowsim.TCP1
+	case "tcp8":
+		return flowsim.TCP8
+	default:
+		return flowsim.MPTCP8
+	}
+}
+
+// cacheKey distinguishes chains evaluated under different data planes.
+func (ts *TransportSpec) cacheKey() string {
+	if ts == nil {
+		return ""
+	}
+	return ts.Protocol + "/" + ts.Routing
+}
+
+// simAsset is a "sim:" tier entry: the compiled transport instance of one
+// topology family. Confined to its shard worker like every mutable warm
+// asset; reuse is bit-identical to cold state.
+type simAsset struct {
+	top      *topology.Topology
+	compiled *routing.Compiled
+	sim      *flowsim.Sim
+}
+
+// transportAsset fetches or creates the family's compiled instance.
+// needTopology selects whether the built base topology and its compiled
+// routing are populated: evaluate runs on them, while what-if borrows
+// only the simulator scratch (its scenarios mutate a private copy of the
+// topology, so building the base assets would be wasted work). They are
+// filled in lazily on the first evaluate over the family — every field
+// is a pure function of the digest, so the entry stays
+// cache-state-invisible either way.
+func transportAsset(w *worker, mat materialized, needTopology bool) *simAsset {
+	key := "sim:" + mat.digest
+	var a *simAsset
+	if v, ok := w.cache.get(key); ok {
+		w.stats.simHits.Add(1)
+		a = v.(*simAsset)
+	} else {
+		a = &simAsset{sim: flowsim.NewSim(0, mat.servers)}
+		w.cache.put(key, a)
+	}
+	if needTopology && a.top == nil {
+		a.top = mat.build()
+		a.compiled = routing.NewCompiled(a.top.Graph)
+	}
+	return a
+}
+
+// transportThroughput runs one transport trial on top using the given
+// compiled routing instance and simulator scratch. Streams are derived
+// from the seed exactly like the experiment harness's simMean ("traffic",
+// "routes", and — for the hashed-subflow protocols only — "sim";
+// mptcp8 consumes no randomness, per flowsim's stream contract).
+func transportThroughput(sim *flowsim.Sim, compiled *routing.Compiled, top *topology.Topology, spec *TransportSpec, seed uint64) float64 {
+	src := rng.New(seed).Split("transport")
+	pat := traffic.RandomPermutation(top.ServerSwitches(), src.Split("traffic"))
+	pairs := routing.PairsForPattern(pat)
+	var table *routing.Table
+	switch spec.Routing {
+	case "ecmp8":
+		table = compiled.ECMP(pairs, 8, src.Split("routes"), 1)
+	case "ecmp64":
+		table = compiled.ECMP(pairs, 64, src.Split("routes"), 1)
+	default:
+		table = compiled.KShortest(pairs, 8, 1)
+	}
+	proto := spec.protocol()
+	return sim.Simulate(pat.Flows, table, proto, flowsim.SimSource(src, proto)).Mean()
+}
+
 func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 	if req.Trials == 0 {
 		req.Trials = 1
 	}
 	if req.Trials < 0 || req.Trials > 64 {
 		return nil, badRequest("invalid_config", "trials %d outside [1, 64]; split larger sweeps across requests (the cap applies to jobs too)", req.Trials)
+	}
+	if aerr := req.Transport.validate(); aerr != nil {
+		return nil, aerr
 	}
 	mat, aerr := req.Topology.materialize()
 	if aerr != nil {
@@ -71,14 +183,25 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 		family: mat.digest,
 		key:    "evaluate:" + digest(canon),
 		run: func(ctx context.Context, w *worker) (any, error) {
-			top := mat.build()
 			resp := &EvaluateResponse{Throughputs: make([]float64, 0, req.Trials)}
 			sum := 0.0
+			var top *topology.Topology
+			var asset *simAsset
+			if req.Transport != nil {
+				asset = transportAsset(w, mat, true)
+			} else {
+				top = mat.build()
+			}
 			for i := 0; i < req.Trials; i++ {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				lam := jellyfish.OptimalThroughput(top, req.Seed+uint64(i), w.solverWorkers)
+				var lam float64
+				if asset != nil {
+					lam = transportThroughput(asset.sim, asset.compiled, asset.top, req.Transport, req.Seed+uint64(i))
+				} else {
+					lam = jellyfish.OptimalThroughput(top, req.Seed+uint64(i), w.solverWorkers)
+				}
 				resp.Throughputs = append(resp.Throughputs, lam)
 				sum += lam
 			}
@@ -161,11 +284,12 @@ type chainPoint struct {
 // chainKeys derives the checkpoint keys of a what-if chain: keys[0]
 // covers the base solve, keys[i] the chain through scenarios[i-1]. Each
 // key is a running content digest, so two requests share a key exactly
-// when they share the base, the seed, and the whole scenario prefix —
-// the condition under which their chains are bit-identical.
-func chainKeys(baseDigest string, seed uint64, scenarios []Scenario) []string {
+// when they share the base, the seed, the data plane (transport spec —
+// cached steps embed its throughput column), and the whole scenario
+// prefix — the condition under which their chains are bit-identical.
+func chainKeys(baseDigest string, seed uint64, transport string, scenarios []Scenario) []string {
 	keys := make([]string, len(scenarios)+1)
-	keys[0] = digest([]byte("whatif"), []byte(baseDigest), []byte(fmt.Sprint(seed)))
+	keys[0] = digest([]byte("whatif"), []byte(baseDigest), []byte(fmt.Sprint(seed)), []byte(transport))
 	for i, sc := range scenarios {
 		keys[i+1] = digest([]byte(keys[i]), mustJSON(&sc))
 	}
@@ -183,13 +307,16 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 	if len(req.Scenarios) > 128 {
 		return nil, badRequest("invalid_config", "%d scenarios exceed the per-request limit of 128; split the chain", len(req.Scenarios))
 	}
+	if aerr := req.Transport.validate(); aerr != nil {
+		return nil, aerr
+	}
 	for i := range req.Scenarios {
 		if aerr := req.Scenarios[i].validate(i); aerr != nil {
 			return nil, aerr
 		}
 	}
 	canon := mustJSON(req)
-	keys := chainKeys(mat.digest, req.Seed, req.Scenarios)
+	keys := chainKeys(mat.digest, req.Seed, req.Transport.cacheKey(), req.Scenarios)
 	return &plan{
 		family: mat.digest,
 		key:    "whatif:" + digest(canon),
@@ -211,8 +338,28 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 			}
 			// A fresh evaluator per request keeps executions pure: warm
 			// value is carried by the immutable checkpoint states, never
-			// by solver buffers with cross-request history.
+			// by solver buffers with cross-request history. The transport
+			// column borrows the family's compiled simulator scratch (the
+			// "sim:" tier) — reuse is result-invisible by the Sim
+			// contract — but compiles routing per step: scenarios mutate
+			// the graph, and a routing.Compiled is bound to one graph.
 			ev := jellyfish.NewWhatIfEvaluator(w.solverWorkers)
+			var simScratch *flowsim.Sim
+			if req.Transport != nil {
+				simScratch = transportAsset(w, mat, false).sim
+			}
+			stepOf := func(i int, desc string, lam float64) WhatIfStep {
+				st := WhatIfStep{
+					Step: i, Description: desc,
+					Switches: top.NumSwitches(), Servers: top.NumServers(),
+					Links: top.NumLinks(), Throughput: lam,
+				}
+				if req.Transport != nil {
+					tp := transportThroughput(simScratch, routing.NewCompiled(top.Graph), top, req.Transport, req.Seed)
+					st.TransportThroughput = &tp
+				}
+				return st
+			}
 			var steps []WhatIfStep
 			if resumed >= 0 {
 				w.stats.chainHits.Add(1)
@@ -220,11 +367,7 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 				ev.SetState(cp.st)
 			} else {
 				lam := ev.OptimalThroughput(top, req.Seed)
-				steps = []WhatIfStep{{
-					Step: 0, Description: "base",
-					Switches: top.NumSwitches(), Servers: top.NumServers(),
-					Links: top.NumLinks(), Throughput: lam,
-				}}
+				steps = []WhatIfStep{stepOf(0, "base", lam)}
 				w.cache.put("chain:"+keys[0], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
 				resumed = 0
 			}
@@ -237,11 +380,7 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 					return nil, badRequest("invalid_scenario", "scenario %d leaves the topology with no servers; throughput is undefined", i-1)
 				}
 				lam := ev.OptimalThroughput(top, req.Seed)
-				steps = append(steps, WhatIfStep{
-					Step: i, Description: desc,
-					Switches: top.NumSwitches(), Servers: top.NumServers(),
-					Links: top.NumLinks(), Throughput: lam,
-				})
+				steps = append(steps, stepOf(i, desc, lam))
 				w.cache.put("chain:"+keys[i], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
 			}
 			return &WhatIfResponse{Steps: steps}, nil

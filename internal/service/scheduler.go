@@ -55,7 +55,9 @@ type stats struct {
 	resultMisses atomic.Int64
 	familyHits   atomic.Int64
 	chainHits    atomic.Int64
+	simHits      atomic.Int64
 	deduped      atomic.Int64
+	syncRejected atomic.Int64
 }
 
 type worker struct {
@@ -227,7 +229,9 @@ func (s *scheduler) statsSnapshot() StatsResponse {
 		ResultMisses: s.stats.resultMisses.Load(),
 		FamilyHits:   s.stats.familyHits.Load(),
 		ChainHits:    s.stats.chainHits.Load(),
+		SimHits:      s.stats.simHits.Load(),
 		Deduped:      s.stats.deduped.Load(),
+		SyncRejected: s.stats.syncRejected.Load(),
 		CacheEntries: entries,
 	}
 }

@@ -24,8 +24,14 @@ type Options struct {
 	// parallelism comes from Workers.
 	SolverWorkers int
 	// CacheEntries bounds each worker's warm-state cache (default 128
-	// entries across response, family, and chain tiers).
+	// entries across response, family, chain, and sim tiers).
 	CacheEntries int
+	// MaxSyncInflight bounds concurrently admitted synchronous planning
+	// requests (default 8×Workers; negative = unlimited). Beyond the
+	// bound the server sheds load immediately — 429 with a Retry-After
+	// hint — instead of queueing unbounded work on the shard workers;
+	// heavy sweeps belong on the job API, which is not admission-gated.
+	MaxSyncInflight int
 }
 
 func (o Options) withDefaults() Options {
@@ -43,6 +49,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 128
 	}
+	if o.MaxSyncInflight == 0 {
+		o.MaxSyncInflight = 8 * o.Workers
+	}
 	return o
 }
 
@@ -52,6 +61,9 @@ type Server struct {
 	sched *scheduler
 	jobs  *jobStore
 	mux   *http.ServeMux
+	// syncSem admits synchronous planning requests (admission control);
+	// nil = unlimited.
+	syncSem chan struct{}
 }
 
 // New builds a Server with its worker pool running.
@@ -61,6 +73,9 @@ func New(opt Options) *Server {
 		sched: newScheduler(opt.Workers, opt.SolverWorkers, opt.CacheEntries),
 		jobs:  newJobStore(),
 		mux:   http.NewServeMux(),
+	}
+	if opt.MaxSyncInflight > 0 {
+		s.syncSem = make(chan struct{}, opt.MaxSyncInflight)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -123,15 +138,35 @@ func readBody(r *http.Request, v any) *apiError {
 	return decodeStrict(body, v)
 }
 
-// runSync plans, schedules with single-flight dedup, and writes the
-// response. Sync executions deliberately run with a background context:
-// a dropped client must not abort work that concurrent identical
-// requests — or the response cache — will want. Heavy operations that
-// need cancellation belong on the job API.
+// runSync admits, plans, schedules with single-flight dedup, and writes
+// the response. Sync executions deliberately run with a background
+// context: a dropped client must not abort work that concurrent
+// identical requests — or the response cache — will want. Heavy
+// operations that need cancellation belong on the job API.
+//
+// Admission happens before scheduling: when MaxSyncInflight requests are
+// already in flight the server answers 429 with a Retry-After hint
+// instead of queueing — saturation should surface at the edge, not as
+// unbounded shard-queue latency. Malformed requests (aerr != nil) are
+// rejected without consuming an admission slot.
 func (s *Server) runSync(w http.ResponseWriter, p *plan, aerr *apiError) {
 	if aerr != nil {
 		writeErr(w, aerr)
 		return
+	}
+	if s.syncSem != nil {
+		select {
+		case s.syncSem <- struct{}{}:
+			defer func() { <-s.syncSem }()
+		default:
+			s.sched.stats.syncRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, &apiError{
+				Status: http.StatusTooManyRequests, Code: "overloaded",
+				Message: "synchronous request limit reached; retry shortly or submit as a job (POST /v1/jobs)",
+			})
+			return
+		}
 	}
 	resp, err := s.sched.do(context.Background(), p, true, nil)
 	if err != nil {

@@ -79,6 +79,43 @@ func RandomPermutation(serverSwitch []int, src *rng.Source) *Pattern {
 	return p
 }
 
+// CycleSuccessors samples a uniform random cyclic permutation of n
+// elements by successive uniform insertion: element i enters the cycle
+// after a uniform random predecessor among 0..i-1, so the cycle over the
+// first s elements is a prefix-stable function of the stream — the
+// permutation at s+1 extends the one at s with a single element spliced
+// in. The stream is consumed strictly in element order (one draw per
+// element past the first), which is what lets capacity searches rebuild
+// the same nested permutations at every probe. Returns next[i], the
+// successor of element i.
+func CycleSuccessors(n int, src *rng.Source) []int {
+	next := make([]int, n)
+	for i := 1; i < n; i++ {
+		x := src.Intn(i)
+		next[i] = next[x]
+		next[x] = i
+	}
+	return next
+}
+
+// NestedCycle builds the capacity-search workload as a server-level
+// pattern: a uniform random cyclic permutation over the server slots
+// (CycleSuccessors), each server sending one unit toward its successor.
+// Under a stable slot assignment (an incremental topology family), the
+// pattern at s+1 servers rewires exactly one flow of the pattern at s —
+// the transport analogue of capsearch's nested commodities.
+func NestedCycle(serverSwitch []int, src *rng.Source) *Pattern {
+	next := CycleSuccessors(len(serverSwitch), src)
+	p := &Pattern{ServerSwitch: serverSwitch, Flows: make([]Flow, 0, len(serverSwitch))}
+	for s, d := range next {
+		p.Flows = append(p.Flows, Flow{
+			SrcServer: s, DstServer: d,
+			SrcSwitch: serverSwitch[s], DstSwitch: serverSwitch[d],
+		})
+	}
+	return p
+}
+
 // derangement samples a uniform permutation and repairs fixed points by
 // cyclic rotation among them (plus one extra swap if a single fixed point
 // remains), yielding a fixed-point-free permutation.
