@@ -35,6 +35,8 @@
 //
 //	go run ./cmd/benchgate -bench-file bench-multicore.txt -budget BENCH_mcf.json
 //
+// -note records measurement provenance (host, caveats) in the folded
+// section, so a fold from an unusual environment documents itself.
 // Every other top-level section of the budget file is preserved
 // byte-for-byte, in its original order; only "multicore" is replaced
 // (or appended). Commit the refreshed file on its own.
@@ -76,10 +78,11 @@ func main() {
 	budgetPath := flag.String("budget", "BENCH_mcf.json", "budget JSON (ci_budget section)")
 	input := flag.String("input", "", "bench output file (default: stdin)")
 	benchFile := flag.String("bench-file", "", "fold mode: parse this bench output (e.g. the downloaded bench-multicore artifact) and write its numbers into the budget file's \"multicore\" section instead of gating")
+	note := flag.String("note", "", "fold mode: provenance note recorded in the folded \"multicore\" section")
 	flag.Parse()
 
 	if *benchFile != "" {
-		if err := fold(*budgetPath, *benchFile); err != nil {
+		if err := fold(*budgetPath, *benchFile, *note); err != nil {
 			fatal("%v", err)
 		}
 		return
@@ -214,6 +217,7 @@ func parseBench(r io.Reader) map[string]map[string]float64 {
 // can be promoted into a budget by copy-paste.
 type multicoreSection struct {
 	Source     string                        `json:"source"`
+	Note       string                        `json:"note,omitempty"`
 	Gomaxprocs int                           `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
@@ -223,7 +227,7 @@ type multicoreSection struct {
 // bench-multicore artifact). All other top-level sections pass through
 // byte-for-byte in their original order, so a fold produces a minimal,
 // reviewable diff.
-func fold(budgetPath, benchPath string) error {
+func fold(budgetPath, benchPath, note string) error {
 	benchRaw, err := os.ReadFile(benchPath)
 	if err != nil {
 		return fmt.Errorf("read bench file: %w", err)
@@ -236,7 +240,7 @@ func fold(budgetPath, benchPath string) error {
 	if err != nil {
 		return fmt.Errorf("read budget: %w", err)
 	}
-	out, err := foldInto(budgetRaw, measured, benchProcs(benchRaw), filepath.Base(benchPath))
+	out, err := foldInto(budgetRaw, measured, benchProcs(benchRaw), filepath.Base(benchPath), note)
 	if err != nil {
 		return fmt.Errorf("fold into %s: %w", budgetPath, err)
 	}
@@ -260,7 +264,7 @@ func fold(budgetPath, benchPath string) error {
 // "multicore" section into the budget JSON, leaving every other
 // top-level section untouched (replace in place, or append when the
 // section does not exist yet).
-func foldInto(budget []byte, measured map[string]map[string]float64, procs int, benchFile string) ([]byte, error) {
+func foldInto(budget []byte, measured map[string]map[string]float64, procs int, benchFile, note string) ([]byte, error) {
 	dec := json.NewDecoder(bytes.NewReader(budget))
 	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
 		return nil, fmt.Errorf("budget is not a JSON object")
@@ -291,6 +295,7 @@ func foldInto(budget []byte, measured map[string]map[string]float64, procs int, 
 
 	mc := multicoreSection{
 		Source:     fmt.Sprintf("folded from %s by cmd/benchgate -bench-file", benchFile),
+		Note:       note,
 		Gomaxprocs: procs,
 		Benchmarks: map[string]map[string]float64{},
 	}

@@ -41,7 +41,7 @@ func TestParseBenchKeepsMinimumOfRepeats(t *testing.T) {
 
 func TestFoldAppendsMulticoreAndPreservesOtherSections(t *testing.T) {
 	measured := parseBench(strings.NewReader(foldBench))
-	out, err := foldInto([]byte(foldBudget), measured, benchProcs([]byte(foldBench)), "bench-multicore.txt")
+	out, err := foldInto([]byte(foldBudget), measured, benchProcs([]byte(foldBench)), "bench-multicore.txt", "test note")
 	if err != nil {
 		t.Fatalf("foldInto: %v", err)
 	}
@@ -77,11 +77,11 @@ func TestFoldAppendsMulticoreAndPreservesOtherSections(t *testing.T) {
 func TestFoldReplacesExistingMulticoreIdempotently(t *testing.T) {
 	measured := parseBench(strings.NewReader(foldBench))
 	procs := benchProcs([]byte(foldBench))
-	once, err := foldInto([]byte(foldBudget), measured, procs, "bench-multicore.txt")
+	once, err := foldInto([]byte(foldBudget), measured, procs, "bench-multicore.txt", "")
 	if err != nil {
 		t.Fatalf("first fold: %v", err)
 	}
-	twice, err := foldInto(once, measured, procs, "bench-multicore.txt")
+	twice, err := foldInto(once, measured, procs, "bench-multicore.txt", "")
 	if err != nil {
 		t.Fatalf("second fold: %v", err)
 	}
@@ -94,7 +94,7 @@ func TestFoldReplacesExistingMulticoreIdempotently(t *testing.T) {
 }
 
 func TestFoldRejectsNonObjectBudget(t *testing.T) {
-	if _, err := foldInto([]byte(`[1, 2]`), map[string]map[string]float64{}, 0, "b.txt"); err == nil {
+	if _, err := foldInto([]byte(`[1, 2]`), map[string]map[string]float64{}, 0, "b.txt", ""); err == nil {
 		t.Fatal("want error for non-object budget, got nil")
 	}
 }

@@ -1,0 +1,66 @@
+// Command jellyvet runs the repository's invariant analyzers
+// (internal/lint) over a set of packages and exits nonzero if any
+// finding survives suppression review. CI runs it as a required job:
+//
+//	go run ./cmd/jellyvet ./...
+//
+// Findings print as file:line:col: analyzer: message, one per line.
+// Suppress a reviewed exception with
+//
+//	//jellyvet:allow <analyzer>[,<analyzer>] -- <reason>
+//
+// on the flagged line, the line above it, or the enclosing function's
+// doc comment. See DESIGN.md §12 for the full grammar and the catalog
+// of invariants each analyzer enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jellyfish/internal/lint"
+)
+
+func main() {
+	explain := flag.Bool("explain", false, "print each analyzer's documentation and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: jellyvet [-explain] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the jellyfish invariant analyzers (default pattern ./...).\nAnalyzers: ")
+		for i, a := range lint.All() {
+			if i > 0 {
+				fmt.Fprint(flag.CommandLine.Output(), ", ")
+			}
+			fmt.Fprint(flag.CommandLine.Output(), a.Name)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *explain {
+		for _, a := range lint.All() {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jellyvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jellyvet:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "jellyvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -91,6 +91,7 @@ func (f *Family) At(servers int) *topology.Topology {
 	// randomness is indexed absolutely, so the result is independent of
 	// which snapshot we start from.
 	best := f.base
+	//jellyvet:allow determinism -- max-reduction over keys; result independent of iteration order
 	for s := range f.snaps {
 		if s <= servers && s > best {
 			best = s

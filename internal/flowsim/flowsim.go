@@ -187,6 +187,8 @@ func NewSim(switches, servers int) *Sim {
 // until the next Simulate call on this Sim. Callers that retain rates
 // across calls must copy them. src may be nil for MPTCP8 (see the
 // package comment's random-stream contract).
+//
+//jellyvet:hotpath
 func (s *Sim) Simulate(flows []traffic.Flow, table *routing.Table, proto Protocol, src *rng.Source) Result {
 	s.beginCall(len(flows))
 	if proto == MPTCP8 {
@@ -203,6 +205,8 @@ func Simulate(flows []traffic.Flow, table *routing.Table, proto Protocol, src *r
 }
 
 // beginCall starts a new generation and sizes the per-flow buffers.
+//
+//jellyvet:hotpath
 func (s *Sim) beginCall(flows int) {
 	s.curGen++
 	if s.curGen == 0 {
@@ -222,10 +226,12 @@ func (s *Sim) beginCall(flows int) {
 
 // touch maps an arena id to its dense call-local id, assigning the next
 // one on first touch of the current call.
+//
+//jellyvet:hotpath
 func (s *Sim) touch(r int32) int32 {
 	for int(r) >= len(s.gen) {
-		s.gen = append(s.gen, 0)
-		s.dense = append(s.dense, 0)
+		s.gen = append(s.gen, 0)     //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
+		s.dense = append(s.dense, 0) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 	}
 	if s.gen[r] != s.curGen {
 		s.gen[r] = s.curGen
@@ -238,6 +244,8 @@ func (s *Sim) touch(r int32) int32 {
 // resetKernel zero-fills the dense per-resource state after compile (the
 // loops below compile to memclr; nres is the registered-resource count of
 // exactly this call, so nothing stale survives).
+//
+//jellyvet:hotpath
 func (s *Sim) resetKernel() {
 	s.used = resarena.Grow(s.used, s.nres)
 	s.count = resarena.Grow(s.count, s.nres)
@@ -256,11 +264,13 @@ func (s *Sim) resetKernel() {
 // appendPathResources appends the dense resource ids of one routed
 // subflow — source NIC, destination NIC, then the directed links along
 // the path — to dst.
+//
+//jellyvet:hotpath
 func (s *Sim) appendPathResources(dst []int32, f *traffic.Flow, p []int) []int32 {
-	dst = append(dst, s.touch(s.arena.SrcNIC(f.SrcServer)))
-	dst = append(dst, s.touch(s.arena.DstNIC(f.DstServer)))
+	dst = append(dst, s.touch(s.arena.SrcNIC(f.SrcServer))) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
+	dst = append(dst, s.touch(s.arena.DstNIC(f.DstServer))) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 	for i := 0; i+1 < len(p); i++ {
-		dst = append(dst, s.touch(s.arena.Link(p[i], p[i+1])))
+		dst = append(dst, s.touch(s.arena.Link(p[i], p[i+1]))) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 	}
 	return dst
 }
@@ -272,10 +282,12 @@ func (s *Sim) appendPathResources(dst []int32, f *traffic.Flow, p []int) []int32
 // resource that just saturated (via the resource→subflow adjacency)
 // instead of rescanning the whole subflow population; resources with no
 // live subflows are compacted out of the scan set as they drain.
+//
+//jellyvet:hotpath
 func (s *Sim) simulateSubflows(flows []traffic.Flow, table *routing.Table, proto Protocol, src *rng.Source) Result {
 	s.subFlow = s.subFlow[:0]
 	s.subResIDs = s.subResIDs[:0]
-	s.subResStart = append(s.subResStart[:0], 0)
+	s.subResStart = append(s.subResStart[:0], 0) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 
 	for fi := range flows {
 		f := &flows[fi]
@@ -289,10 +301,10 @@ func (s *Sim) simulateSubflows(flows []traffic.Flow, table *routing.Table, proto
 			continue
 		}
 		for k := 0; k < proto.Subflows(); k++ {
-			p := paths[src.Intn(len(paths))] // ECMP-style hash per connection
-			s.subFlow = append(s.subFlow, int32(fi))
+			p := paths[src.Intn(len(paths))]         // ECMP-style hash per connection
+			s.subFlow = append(s.subFlow, int32(fi)) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 			s.subResIDs = s.appendPathResources(s.subResIDs, f, p)
-			s.subResStart = append(s.subResStart, int32(len(s.subResIDs)))
+			s.subResStart = append(s.subResStart, int32(len(s.subResIDs))) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 		}
 	}
 	s.resetKernel()
@@ -319,7 +331,7 @@ func (s *Sim) simulateSubflows(flows []traffic.Flow, table *routing.Table, proto
 		s.resSubStart[r+1] = s.resSubStart[r] + s.count[r]
 		s.resSubFill[r] = 0
 		if s.count[r] > 0 {
-			s.act = append(s.act, int32(r))
+			s.act = append(s.act, int32(r)) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 		}
 	}
 	s.resSubIDs = resarena.Grow(s.resSubIDs, len(s.subResIDs))
@@ -397,6 +409,8 @@ func (s *Sim) simulateSubflows(flows []traffic.Flow, table *routing.Table, proto
 // common source NIC) is already at capacity, so each is frozen at the
 // level scaled down by its most-oversubscribed resource. Normal exits
 // (remaining == 0) are untouched.
+//
+//jellyvet:hotpath
 func (s *Sim) clampUnfrozenSubflows(level float64, remaining int) {
 	if remaining == 0 {
 		return
@@ -423,9 +437,11 @@ func (s *Sim) clampUnfrozenSubflows(level float64, remaining int) {
 // accumulated rate stays in place and growth moves to the next open route;
 // the flow freezes when no route is open. Deliberately consumes no
 // randomness (see the package comment's stream contract).
+//
+//jellyvet:hotpath
 func (s *Sim) simulateCoupled(flows []traffic.Flow, table *routing.Table) Result {
 	s.pathResIDs = s.pathResIDs[:0]
-	s.pathResStart = append(s.pathResStart[:0], 0)
+	s.pathResStart = append(s.pathResStart[:0], 0) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 	s.flowPathStart = resarena.Grow(s.flowPathStart, len(flows)+1)
 	s.active = resarena.Grow(s.active, len(flows))
 	s.flowLevel = resarena.Grow(s.flowLevel, len(flows))
@@ -444,7 +460,7 @@ func (s *Sim) simulateCoupled(flows []traffic.Flow, table *routing.Table) Result
 		paths := table.PathsFor(f.SrcSwitch, f.DstSwitch)
 		for _, p := range paths {
 			s.pathResIDs = s.appendPathResources(s.pathResIDs, f, p)
-			s.pathResStart = append(s.pathResStart, int32(len(s.pathResIDs)))
+			s.pathResStart = append(s.pathResStart, int32(len(s.pathResIDs))) //jellyvet:allow hotpath -- grows Sim-owned scratch reused across calls; steady state is zero-alloc (TestTransportZeroAllocs)
 		}
 		s.flowPathStart[fi+1] = int32(len(s.pathResStart) - 1)
 		if len(paths) > 0 {
@@ -453,7 +469,7 @@ func (s *Sim) simulateCoupled(flows []traffic.Flow, table *routing.Table) Result
 	}
 	s.resetKernel()
 
-	open := func(pi int32) bool {
+	open := func(pi int32) bool { //jellyvet:allow hotpath -- non-escaping local closure; called only below, so it stays on the stack
 		for _, r := range s.pathResIDs[s.pathResStart[pi]:s.pathResStart[pi+1]] {
 			if 1-s.used[r] <= satEps {
 				return false
@@ -537,6 +553,7 @@ func (s *Sim) simulateCoupled(flows []traffic.Flow, table *routing.Table) Result
 	return Result{FlowRate: s.rates}
 }
 
+//jellyvet:hotpath
 func clampRates(rates []float64, local []bool) {
 	for fi := range rates {
 		if !local[fi] && rates[fi] > 1 {

@@ -132,15 +132,17 @@ func (e *KSPEngine) Paths(src, dst, k int) []Path {
 	return paths
 }
 
+//jellyvet:hotpath
 func (e *KSPEngine) maskNbr(v int) {
 	for _, m := range e.maskedNbrs {
 		if m == int32(v) {
 			return
 		}
 	}
-	e.maskedNbrs = append(e.maskedNbrs, int32(v))
+	e.maskedNbrs = append(e.maskedNbrs, int32(v)) //jellyvet:allow hotpath -- grows engine-owned mask scratch; bounded by max degree and reused across queries
 }
 
+//jellyvet:hotpath
 func (e *KSPEngine) nbrMasked(v int) bool {
 	for _, m := range e.maskedNbrs {
 		if m == int32(v) {
@@ -158,12 +160,14 @@ func (e *KSPEngine) nbrMasked(v int) bool {
 // apply only to expansions of src itself: every masked edge is incident
 // to the spur node, and its far endpoint is src's neighbor (traversals
 // back into src are impossible — src is already seen).
+//
+//jellyvet:hotpath
 func (e *KSPEngine) bfs(src, dst int, masked bool) Path {
 	if masked && (e.skipNode[src] == e.epoch || e.skipNode[dst] == e.epoch) {
 		return nil
 	}
 	if src == dst {
-		return Path{src}
+		return Path{src} //jellyvet:allow hotpath -- returned Path is caller-owned by contract; one allocation per emitted path
 	}
 	g := e.g
 	ep := e.epoch
@@ -200,7 +204,7 @@ func (e *KSPEngine) bfs(src, dst int, masked bool) Path {
 	if !found {
 		return nil
 	}
-	path := make(Path, e.dist[dst]+1)
+	path := make(Path, e.dist[dst]+1) //jellyvet:allow hotpath -- returned Path is caller-owned by contract; one allocation per emitted path
 	cur := dst
 	for i := len(path) - 1; i >= 0; i-- {
 		path[i] = cur

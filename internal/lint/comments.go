@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file owns the jellyvet annotation grammar (DESIGN.md §12):
+//
+//	//jellyvet:hotpath                      (function doc) zero-alloc kernel
+//	//jellyvet:confined                     (type doc) worker-confined type
+//	//jellyvet:allow <a>[,<b>] -- <reason>  suppress analyzers a, b here
+//
+// An allow applies to the line it is written on (end-of-line form), to
+// the line immediately below it (own-line form), or — when written in a
+// function's doc comment — to the whole function. The reason is
+// mandatory: a bare allow is itself reported, so every suppression in
+// the tree is a reviewed, grep-able decision.
+
+const (
+	allowPrefix    = "//jellyvet:allow"
+	hotpathMarker  = "//jellyvet:hotpath"
+	confinedMarker = "//jellyvet:confined"
+)
+
+// an allowDirective is one parsed //jellyvet:allow comment.
+type allowDirective struct {
+	pos       token.Pos
+	analyzers []string
+	reason    string
+}
+
+func (d *allowDirective) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow parses the text of a comment; ok is false when the comment
+// is not an allow directive at all.
+func parseAllow(c *ast.Comment) (d allowDirective, ok bool) {
+	text := strings.TrimRight(c.Text, " \t")
+	if text != allowPrefix && !strings.HasPrefix(text, allowPrefix+" ") {
+		return d, false
+	}
+	d.pos = c.Pos()
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	names := rest
+	if strings.HasPrefix(rest, "-- ") { // no analyzer names at all
+		names = ""
+		d.reason = strings.TrimSpace(strings.TrimPrefix(rest, "-- "))
+	} else if i := strings.Index(rest, " -- "); i >= 0 {
+		names = rest[:i]
+		d.reason = strings.TrimSpace(rest[i+len(" -- "):])
+	}
+	for _, name := range strings.Split(names, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			d.analyzers = append(d.analyzers, name)
+		}
+	}
+	return d, true
+}
+
+// funcRange is a function-scoped suppression (allow in a func doc).
+type funcRange struct {
+	start, end token.Pos
+	directive  *allowDirective
+}
+
+type annotations struct {
+	// byLine maps file name → line → directives written on that line.
+	byLine map[string]map[int][]*allowDirective
+	funcs  []funcRange
+	all    []*allowDirective
+}
+
+// scanAnnotations collects every allow directive in the files, indexed
+// for the two suppression scopes (line and enclosing function).
+func scanAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
+	ann := &annotations{byLine: map[string]map[int][]*allowDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseAllow(c)
+				if !ok {
+					continue
+				}
+				dd := d
+				ann.all = append(ann.all, &dd)
+				pos := fset.Position(c.Pos())
+				lines := ann.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*allowDirective{}
+					ann.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], &dd)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				d, ok := parseAllow(c)
+				if !ok {
+					continue
+				}
+				dd := d
+				ann.funcs = append(ann.funcs, funcRange{fd.Pos(), fd.End(), &dd})
+			}
+		}
+	}
+	return ann
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a directive.
+func (ann *annotations) allowed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, d := range ann.byLine[p.Filename][p.Line] {
+		if d.covers(analyzer) {
+			return true
+		}
+	}
+	for _, d := range ann.byLine[p.Filename][p.Line-1] {
+		if d.covers(analyzer) {
+			return true
+		}
+	}
+	for _, fr := range ann.funcs {
+		if fr.start <= pos && pos < fr.end && fr.directive.covers(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// misuse reports grammar violations: an allow with no reason, or one
+// naming an analyzer that does not exist (both would otherwise rot into
+// silent non-suppressions or unreviewable blanket ones).
+func (ann *annotations) misuse(fset *token.FileSet, known map[string]bool) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Pos: fset.Position(pos), Analyzer: "jellyvet", Message: msg})
+	}
+	for _, d := range ann.all {
+		if len(d.analyzers) == 0 {
+			report(d.pos, "jellyvet:allow names no analyzer (want //jellyvet:allow <analyzer> -- <reason>)")
+			continue
+		}
+		if d.reason == "" {
+			report(d.pos, "bare jellyvet:allow without a reason (want //jellyvet:allow <analyzer> -- <reason>)")
+		}
+		for _, a := range d.analyzers {
+			if !known[a] {
+				report(d.pos, "jellyvet:allow names unknown analyzer "+a)
+			}
+		}
+	}
+	return out
+}
+
+// docHasMarker reports whether a doc comment group contains the given
+// whole-comment marker (optionally followed by " -- <note>").
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimRight(c.Text, " \t")
+		if text == marker || strings.HasPrefix(text, marker+" -- ") {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathFuncs returns the function declarations annotated
+// //jellyvet:hotpath.
+func hotpathFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && docHasMarker(fd.Doc, hotpathMarker) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// confinedTypes returns the type names declared //jellyvet:confined in
+// the files. The marker may sit on the type's own doc comment or on the
+// enclosing GenDecl's.
+func confinedTypes(files []*ast.File) map[*ast.TypeSpec]bool {
+	out := map[*ast.TypeSpec]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			declMarked := docHasMarker(gd.Doc, confinedMarker)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declMarked || docHasMarker(ts.Doc, confinedMarker) || docHasMarker(ts.Comment, confinedMarker) {
+					out[ts] = true
+				}
+			}
+		}
+	}
+	return out
+}

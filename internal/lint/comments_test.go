@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text      string
+		ok        bool
+		analyzers []string
+		reason    string
+	}{
+		{"//jellyvet:allow hotpath -- scratch reuse", true, []string{"hotpath"}, "scratch reuse"},
+		{"//jellyvet:allow determinism,confinement -- worker pool", true, []string{"determinism", "confinement"}, "worker pool"},
+		{"//jellyvet:allow determinism, confinement -- spaced list", true, []string{"determinism", "confinement"}, "spaced list"},
+		{"//jellyvet:allow hotpath", true, []string{"hotpath"}, ""},
+		{"//jellyvet:allow -- reason only", true, nil, "reason only"},
+		{"//jellyvet:allow", true, nil, ""},
+		{"//jellyvet:allowhotpath -- not a directive", false, nil, ""},
+		{"// plain comment", false, nil, ""},
+		{"//jellyvet:hotpath", false, nil, ""},
+	}
+	for _, c := range cases {
+		d, ok := parseAllow(&ast.Comment{Text: c.text})
+		if ok != c.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(d.analyzers, c.analyzers) {
+			t.Errorf("parseAllow(%q) analyzers = %v, want %v", c.text, d.analyzers, c.analyzers)
+		}
+		if d.reason != c.reason {
+			t.Errorf("parseAllow(%q) reason = %q, want %q", c.text, d.reason, c.reason)
+		}
+	}
+}
+
+func TestIsDeterministicPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"jellyfish/internal/mcf", true},
+		{"internal/mcf", true},
+		{"check/internal/mcf", true},
+		{"jellyfish/internal/service", true},
+		{"jellyfish/internal/parallel", false},
+		{"jellyfish/internal/lint", false},
+		{"jellyfish/internal/mcfx", false},
+		{"mcf", false},
+	}
+	for _, c := range cases {
+		if got := IsDeterministicPackage(c.path); got != c.want {
+			t.Errorf("IsDeterministicPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Confinement encodes DESIGN.md §10's ownership story structurally:
+// warm-state types annotated //jellyvet:confined (the scheduler's
+// per-shard caches and the mutable assets inside them) are owned by
+// exactly one shard-worker goroutine and synchronized by nothing. The
+// analyzer flags the three ways such a value escapes its owner: capture
+// by a spawned goroutine, storage in a package-level variable, and a
+// channel send. The one legitimate goroutine capture — the owning
+// worker loop itself — carries a reviewed allow.
+//
+// Scope: confined types are enforced in their declaring package. The
+// annotated types are unexported, so this is complete: a value that
+// never escapes its package cannot escape its goroutine elsewhere. The
+// weekly full -race CI run cross-checks the same claim dynamically.
+var Confinement = &Analyzer{
+	Name: "confinement",
+	Doc: `keep //jellyvet:confined warm-state types inside their owning goroutine
+
+Flags, in the declaring package: a goroutine (go statement) referencing
+a variable of confined type declared outside itself (capture), a
+package-level variable of confined type (global escape), and a send of
+a confined value on a channel (ownership transfer). The owning worker
+loop's own capture is the one expected allow site.`,
+	Run: runConfinement,
+}
+
+func runConfinement(pass *Pass) {
+	confined := map[*types.TypeName]bool{}
+	for ts := range confinedTypes(pass.Files) {
+		if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+			confined[tn] = true
+		}
+	}
+	if len(confined) == 0 {
+		return
+	}
+	involves := func(t types.Type) bool { return typeInvolves(t, confined) }
+
+	for _, file := range pass.Files {
+		// Package-level variables.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && involves(obj.Type()) {
+						pass.Reportf(name.Pos(), "confined type %s stored in package-level variable %s escapes every owner", typeNameOf(obj.Type(), confined), name.Name)
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.GoStmt:
+				checkGoroutineCapture(pass, nn, involves, confined)
+			case *ast.SendStmt:
+				if tv, ok := pass.TypesInfo.Types[nn.Value]; ok && involves(tv.Type) {
+					pass.Reportf(nn.Value.Pos(), "confined type %s sent on a channel transfers ownership across goroutines", typeNameOf(tv.Type, confined))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGoroutineCapture flags each confined-typed variable the go
+// statement references but does not declare: those are exactly the
+// values the new goroutine shares with its spawner. One diagnostic per
+// variable, anchored at the go statement so a single allow on that line
+// covers the whole capture set.
+func checkGoroutineCapture(pass *Pass, g *ast.GoStmt, involves func(types.Type) bool, confined map[*types.TypeName]bool) {
+	reported := map[*types.Var]bool{}
+	ast.Inspect(g, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || reported[v] {
+			return true
+		}
+		if v.Pos() >= g.Pos() && v.Pos() < g.End() {
+			return true // declared inside the goroutine: owned by it
+		}
+		if involves(v.Type()) {
+			reported[v] = true
+			pass.Reportf(g.Pos(), "goroutine captures %s (confined type %s); warm state is owned by exactly one worker goroutine", v.Name(), typeNameOf(v.Type(), confined))
+		}
+		return true
+	})
+}
+
+// typeNameOf names the confined type buried in t for the message.
+func typeNameOf(t types.Type, confined map[*types.TypeName]bool) string {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) string
+	walk = func(t types.Type) string {
+		if t == nil || seen[t] {
+			return ""
+		}
+		seen[t] = true
+		switch tt := t.(type) {
+		case *types.Named:
+			if confined[tt.Obj()] {
+				return tt.Obj().Name()
+			}
+			return walk(tt.Underlying())
+		case *types.Pointer:
+			return walk(tt.Elem())
+		case *types.Slice:
+			return walk(tt.Elem())
+		case *types.Array:
+			return walk(tt.Elem())
+		case *types.Map:
+			if s := walk(tt.Key()); s != "" {
+				return s
+			}
+			return walk(tt.Elem())
+		case *types.Chan:
+			return walk(tt.Elem())
+		}
+		return ""
+	}
+	if s := walk(t); s != "" {
+		return s
+	}
+	return t.String()
+}

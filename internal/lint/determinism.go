@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages lists the packages (as import-path suffixes)
+// whose outputs must be byte-identical across worker counts, cache
+// states, and process restarts — the invariant pinned at runtime by
+// internal/experiments/determinism_test.go and
+// internal/service/determinism_test.go. The determinism analyzer
+// enforces the sources of nondeterminism those suites have historically
+// caught: map iteration order, wall-clock reads, the global math/rand
+// stream, and goroutines spawned outside the deterministic worker pool.
+//
+// internal/service is deliberately in the list even though its job
+// store and scheduler legitimately use timestamps and goroutines: those
+// few sites carry reviewed //jellyvet:allow exemptions, and everything
+// else in the package — the response paths — is checked.
+var DeterministicPackages = []string{
+	"internal/mcf",
+	"internal/flowsim",
+	"internal/packetsim",
+	"internal/graph",
+	"internal/routing",
+	"internal/capsearch",
+	"internal/traffic",
+	"internal/experiments",
+	"internal/service",
+}
+
+// parallelPackage is the one package allowed to spawn worker goroutines:
+// its pool returns results in deterministic index order.
+const parallelPackage = "internal/parallel"
+
+// IsDeterministicPackage reports whether the import path is in the
+// declared deterministic set.
+func IsDeterministicPackage(path string) bool {
+	for _, suffix := range DeterministicPackages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinism forbids the constructs that make output depend on
+// scheduling, iteration order, or wall-clock in the declared
+// deterministic packages.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterministic constructs in the deterministic packages
+
+In packages declared deterministic (lint.DeterministicPackages), flags:
+ranging over a map (iteration order is randomized), time.Now/Since/Until
+(wall-clock leaks into results), package-level math/rand functions (a
+shared global stream; use internal/rng splits), and go statements
+(concurrency belongs in internal/parallel, whose pool is
+order-deterministic). Exemptions: //jellyvet:allow determinism -- <why>.`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !IsDeterministicPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[nn.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(nn.Pos(), "range over map: iteration order is randomized; iterate a sorted key slice instead")
+					}
+				}
+			case *ast.GoStmt:
+				pass.Reportf(nn.Pos(), "go statement in a deterministic package: spawn workers through %s (index-ordered results) instead", parallelPackage)
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[nn.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(nn.Pos(), "time.%s reads the wall clock; deterministic outputs cannot depend on it", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if isGlobalRandFunc(fn) {
+						pass.Reportf(nn.Pos(), "%s.%s draws from the shared global stream; derive a stream with internal/rng Split instead", fn.Pkg().Path(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isGlobalRandFunc reports whether fn is a package-level math/rand
+// function that consumes the global source. Constructors (New,
+// NewSource, NewZipf, NewPCG, NewChaCha8) build explicit sources and
+// are fine — internal/rng itself is built on rand.New.
+func isGlobalRandFunc(fn *types.Func) bool {
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath is the annotation-driven allocation lint: inside functions
+// marked //jellyvet:hotpath it flags every construct that can allocate
+// per call, turning the benchmark-level zero-allocation budgets
+// (TestPhaseLoopZeroAllocs, TestTransportZeroAllocs,
+// TestPacketZeroAllocs, gated in CI by cmd/benchgate) into file:line
+// diagnostics at build time.
+//
+// The invariant is ZERO STEADY-STATE allocations, so constructs that
+// only grow reusable backing arrays during warm-up (append into
+// scratch-owned slices) are legal — but each such site must carry a
+// //jellyvet:allow hotpath -- <reason> naming the reuse story, so that
+// a reviewer can see exactly where the amortization argument lives.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: `flag allocation-capable constructs in //jellyvet:hotpath functions
+
+Inside annotated functions, flags: make/new, map and slice literals,
+&struct{} literals, append (growth can reallocate), func literals
+(closures capture and can escape), calls into fmt (always allocates),
+and implicit or explicit conversions of concrete values to interface
+types (boxing). Plain struct VALUE literals are not flagged: they stay
+on the stack unless something the other checks catch moves them.
+Amortized-growth sites must carry //jellyvet:allow hotpath -- <reason>.`,
+	Run: runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	for _, fd := range hotpathFuncs(pass.Files) {
+		if fd.Body == nil {
+			continue
+		}
+		h := &hotpathWalker{pass: pass, decl: fd}
+		ast.Inspect(fd.Body, h.visit)
+	}
+}
+
+type hotpathWalker struct {
+	pass *Pass
+	decl *ast.FuncDecl
+	// funcLitDepth tracks nesting inside func literals: their bodies are
+	// still scanned (they run on the hot path too), but return-statement
+	// boxing is only checked against the annotated function's own
+	// signature, so returns inside literals are skipped.
+	funcLitDepth int
+}
+
+func (h *hotpathWalker) visit(n ast.Node) bool {
+	info := h.pass.TypesInfo
+	switch nn := n.(type) {
+	case *ast.FuncLit:
+		h.pass.Reportf(nn.Pos(), "func literal in hotpath: closures can allocate their capture environment")
+		h.funcLitDepth++
+		ast.Inspect(nn.Body, h.visit)
+		h.funcLitDepth--
+		return false
+	case *ast.CallExpr:
+		h.checkCall(nn)
+	case *ast.UnaryExpr:
+		// &T{...}: the literal itself is exempt as a value, but taking
+		// its address is an allocation candidate.
+		if nn.Op == token.AND {
+			if lit, ok := nn.X.(*ast.CompositeLit); ok {
+				h.pass.Reportf(lit.Pos(), "address of composite literal in hotpath allocates")
+			}
+		}
+	case *ast.CompositeLit:
+		if tv, ok := info.Types[nn]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				h.pass.Reportf(nn.Pos(), "%s literal in hotpath allocates", typeKindName(tv.Type))
+			}
+		}
+	case *ast.AssignStmt:
+		if len(nn.Lhs) == len(nn.Rhs) {
+			for i := range nn.Lhs {
+				h.checkBox(nn.Rhs[i], info.Types[nn.Lhs[i]].Type, "assignment")
+			}
+		}
+	case *ast.ReturnStmt:
+		if h.funcLitDepth > 0 {
+			return true
+		}
+		sig, ok := info.Defs[h.decl.Name].Type().(*types.Signature)
+		if !ok || sig.Results().Len() != len(nn.Results) {
+			return true
+		}
+		for i, res := range nn.Results {
+			h.checkBox(res, sig.Results().At(i).Type(), "return")
+		}
+	}
+	return true
+}
+
+func (h *hotpathWalker) checkCall(call *ast.CallExpr) {
+	info := h.pass.TypesInfo
+	// Builtins and conversions.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				h.pass.Reportf(call.Pos(), "make in hotpath allocates; hoist into reusable scratch")
+				return
+			case "new":
+				h.pass.Reportf(call.Pos(), "new in hotpath allocates; hoist into reusable scratch")
+				return
+			case "append":
+				h.pass.Reportf(call.Pos(), "append in hotpath can grow its backing array; justify the reuse story with an allow")
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			h.pass.Reportf(call.Pos(), "fmt.%s in hotpath allocates (boxes arguments and builds a string)", fn.Name())
+			return
+		}
+	}
+	// Explicit conversion to an interface type: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			h.checkBox(call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+	// Implicit boxing at call boundaries.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			// f(xs...) passes the slice through without boxing elements.
+			if call.Ellipsis.IsValid() {
+				pt = nil
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			h.checkBox(arg, pt, "argument")
+		}
+	}
+}
+
+// checkBox reports expr when it is a concrete (non-interface) value
+// being placed into an interface-typed slot — the boxing allocation.
+func (h *hotpathWalker) checkBox(expr ast.Expr, dst types.Type, context string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := h.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return // interface-to-interface: no box
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	h.pass.Reportf(expr.Pos(), "%s boxes %s into %s in hotpath", context, tv.Type, dst)
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

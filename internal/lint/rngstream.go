@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RNGStream enforces the repository's random-stream discipline: every
+// stream derived with internal/rng's Split/SplitN exists to be consumed
+// by exactly the component named in its label. A split whose result is
+// discarded is the "dead split" bug class PR 5 fixed by hand in
+// flowsim's call sites: the derivation looks load-bearing, reviewers
+// preserve it, and any future change that starts consuming it silently
+// shifts every sibling stream — changing all downstream results at
+// once. Splits that are intentionally unused must say so with
+// //jellyvet:allow rngstream -- <reason> (or better, be deleted).
+var RNGStream = &Analyzer{
+	Name: "rngstream",
+	Doc: `require every internal/rng Split/SplitN result to be consumed
+
+Flags calls to (*rng.Source).Split and SplitN whose result is dropped:
+used as an expression statement, or assigned only to the blank
+identifier. Both forms advance no state (splits are pure), so a dead
+split is either a leftover from a removed consumer or a misunderstanding
+of the stream contract; delete it or justify it with an allow.`,
+	Run: runRNGStream,
+}
+
+func runRNGStream(pass *Pass) {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := rngSplitCall(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			// stack[len(stack)-1] is the call itself; the parent decides
+			// whether the result is consumed.
+			if len(stack) < 2 {
+				return true
+			}
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.ExprStmt:
+				pass.Reportf(call.Pos(), "result of Source.%s is discarded; a split consumes no state, so this derives nothing — delete it or consume the stream", name)
+			case *ast.AssignStmt:
+				if len(parent.Lhs) == len(parent.Rhs) {
+					for i, rhs := range parent.Rhs {
+						if rhs != ast.Expr(call) {
+							continue
+						}
+						if id, ok := parent.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							pass.Reportf(call.Pos(), "result of Source.%s assigned to _; a dead split documents a consumer that does not exist", name)
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+}
+
+// rngSplitCall reports whether call invokes Split or SplitN on an
+// internal/rng Source (matched by import-path suffix so the analyzer
+// works in any module, including the test fixtures).
+func rngSplitCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Name() != "Split" && fn.Name() != "SplitN" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path != "internal/rng" && !strings.HasSuffix(path, "/internal/rng") {
+		return "", false
+	}
+	return fn.Name(), true
+}

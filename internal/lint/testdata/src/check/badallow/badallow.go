@@ -1,0 +1,16 @@
+// Package badallow is the annotation-grammar fixture: each malformed
+// //jellyvet:allow is itself a finding, reported under the "jellyvet"
+// pseudo-analyzer so suppressions stay reviewable.
+package badallow
+
+// want(+1) `jellyvet:allow names no analyzer`
+//jellyvet:allow -- a reason with no analyzer names
+
+// want(+1) `bare jellyvet:allow without a reason`
+//jellyvet:allow determinism
+
+// want(+1) `jellyvet:allow names unknown analyzer speed`
+//jellyvet:allow speed -- a misspelled analyzer name
+
+// Placeholder keeps the package non-empty.
+func Placeholder() int { return 0 }

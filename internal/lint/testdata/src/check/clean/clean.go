@@ -1,0 +1,24 @@
+// Package clean is the determinism negative control: it uses every
+// construct the analyzer forbids, but its import path is not in the
+// deterministic set, so none of them is a finding.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Draw() int { return rand.Intn(3) }
+
+func Spread(m map[int]int) (n int) {
+	for range m {
+		n++
+	}
+	return n
+}
+
+func Spawn(done chan struct{}) {
+	go func() { close(done) }()
+}

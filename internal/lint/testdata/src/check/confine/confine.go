@@ -1,0 +1,39 @@
+// Package confine is the confinement-analyzer fixture: warm is the
+// annotated type; the three escape routes are each labelled, with owned
+// and suppressed controls.
+package confine
+
+// warm stands in for a shard worker's warm state.
+//
+//jellyvet:confined
+type warm struct{ n int }
+
+var escaped *warm // want `confined type warm stored in package-level variable escaped`
+
+func capture(w *warm, done chan struct{}) {
+	go func() { // want `goroutine captures w \(confined type warm\)`
+		w.n++
+		close(done)
+	}()
+}
+
+func send(ch chan *warm, w *warm) {
+	ch <- w // want `confined type warm sent on a channel`
+}
+
+// owned declares its warm value inside the goroutine: the spawnee is the
+// sole owner, no finding.
+func owned(done chan struct{}) {
+	go func() {
+		w := warm{}
+		w.n++
+		close(done)
+	}()
+}
+
+// handoff is the reviewed exception shape: the spawner constructs the
+// value, hands it to exactly one goroutine, and never touches it again.
+func handoff(w *warm) {
+	//jellyvet:allow confinement -- handoff at spawn; this goroutine becomes the sole owner
+	go func() { w.n++ }()
+}

@@ -1,0 +1,3 @@
+module check
+
+go 1.24

@@ -1,0 +1,66 @@
+// Package hot is the hotpath-analyzer fixture: one annotated kernel
+// hitting every forbidden construct, plus unannotated and suppressed
+// controls.
+package hot
+
+import "fmt"
+
+type scratch struct{ buf []int }
+
+var boxed any
+
+func take(v any) {}
+
+func varargs(vs ...any) {}
+
+//jellyvet:hotpath
+func kernel(s *scratch, n int) int {
+	s.buf = append(s.buf, n)     // want `append in hotpath`
+	m := make([]int, n)          // want `make in hotpath`
+	p := new(int)                // want `new in hotpath`
+	lit := []int{1, 2}           // want `slice literal in hotpath`
+	mp := map[int]int{n: n}      // want `map literal in hotpath`
+	sp := &scratch{}             // want `address of composite literal`
+	f := func() int { return n } // want `func literal in hotpath`
+	fmt.Sprint(n)                // want `fmt.Sprint in hotpath`
+	return len(m) + *p + lit[0] + mp[n] + len(sp.buf) + f()
+}
+
+//jellyvet:hotpath
+func boxes(n int) any {
+	boxed = n   // want `assignment boxes int`
+	take(n)     // want `argument boxes int`
+	x := any(n) // want `conversion boxes int`
+	varargs(n)  // want `argument boxes int`
+	_ = x
+	return n // want `return boxes int`
+}
+
+// passthrough hands an existing []any through a variadic call: the slice
+// is reused, no element is boxed, no finding.
+//
+//jellyvet:hotpath
+func passthrough(pre []any) {
+	varargs(pre...)
+}
+
+// values builds plain struct values, which stay on the stack: no finding.
+//
+//jellyvet:hotpath
+func values(n int) scratch {
+	v := scratch{}
+	return v
+}
+
+// allowedGrowth documents the amortized-growth exemption inline.
+//
+//jellyvet:hotpath
+func allowedGrowth(s *scratch, n int) {
+	s.buf = append(s.buf, n) //jellyvet:allow hotpath -- scratch-owned backing reused across calls
+}
+
+// cold is unannotated: the same constructs produce no findings.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	return append(out, n)
+}

@@ -1,0 +1,27 @@
+// Package rnguse is the rngstream-analyzer fixture.
+package rnguse
+
+import "check/internal/rng"
+
+func Drops(src *rng.Source) {
+	src.Split("dead")         // want `result of Source.Split is discarded`
+	_ = src.SplitN("dead", 1) // want `result of Source.SplitN assigned to _`
+}
+
+// Uses consumes both split forms: no findings.
+func Uses(src *rng.Source) *rng.Source {
+	a := src.Split("live")
+	return a.SplitN("child", 0)
+}
+
+// MultiAssign consumes one result and blanks the other: only the blank
+// one is a finding.
+func MultiAssign(src *rng.Source) *rng.Source {
+	a, _ := src.Split("kept"), src.SplitN("dropped", 2) // want `result of Source.SplitN assigned to _`
+	return a
+}
+
+// Documented keeps a dead split on purpose, with the mandatory reason.
+func Documented(src *rng.Source) {
+	src.Split("reserved") //jellyvet:allow rngstream -- fixture: a documented dead split stays suppressed
+}

@@ -579,6 +579,8 @@ func (s *solver) run() Result {
 // stay alive while flow is applied, and nothing is allocated: the sweeps
 // reuse slot scratch, the route walk applies flow directly off the parent
 // arcs, and s.sweepFn is a closure built once at solver construction.
+//
+//jellyvet:hotpath
 func (s *solver) phase() bool {
 	for start := 0; start < len(s.srcList); start += sourceBatch {
 		end := start + sourceBatch
@@ -635,6 +637,8 @@ func (s *solver) phase() bool {
 // and routes step units along it, updating flows and GK lengths in place.
 // Every vertex on the path was settled by the sweep, so the walk is over
 // final parents.
+//
+//jellyvet:hotpath
 func (s *solver) applyFlow(sc *sweepScratch, dst int32, step float64) {
 	for v := dst; sc.parentArc[v] >= 0; {
 		a := sc.parentArc[v]
@@ -656,6 +660,7 @@ func (s *solver) primalLambda(routedPhases float64) float64 {
 	return routedPhases / rho
 }
 
+//jellyvet:hotpath
 func (s *solver) maxOveruse() float64 {
 	rho := 0.0
 	for _, f := range s.flow {
@@ -673,6 +678,8 @@ func (s *solver) maxOveruse() float64 {
 // each worker reusing its own scratch (s.dualFn writes s.dualParts[gi]) —
 // and per-source contributions are summed in srcList order to keep the
 // value independent of scheduling.
+//
+//jellyvet:hotpath
 func (s *solver) dualBound() float64 {
 	parallel.ForEachWorker(s.workers, len(s.srcList), s.dualFn)
 	var alpha float64

@@ -39,6 +39,8 @@ func newSweepScratch(n int) *sweepScratch {
 // Valid only for the sweep's requested destinations (each is settled or
 // unreachable when sweep returns; other vertices may hold tentative
 // values after an early exit).
+//
+//jellyvet:hotpath
 func (sc *sweepScratch) distTo(v int32) float64 {
 	if sc.reach[v] != sc.gen {
 		return math.Inf(1)
@@ -61,6 +63,8 @@ func (sc *sweepScratch) distTo(v int32) float64 {
 // allocates nothing. Relaxation uses strict improvement, which makes the
 // pushed keys per node strictly decreasing — a popped entry is stale iff
 // its key exceeds dist[node], so no separate settled array is needed.
+//
+//jellyvet:hotpath
 func (s *solver) sweep(sc *sweepScratch, src int32, dsts []int32) {
 	gen := sc.gen + 1
 	if gen == 0 { // uint32 wraparound: stamps from 2^32 sweeps ago alias
@@ -74,8 +78,8 @@ func (s *solver) sweep(sc *sweepScratch, src int32, dsts []int32) {
 	dist[src] = 0
 	parent[src] = -1
 	reach[src] = gen
-	hn = append(hn, src)
-	hd = append(hd, 0)
+	hn = append(hn, src) //jellyvet:allow hotpath -- push into scratch-owned heap backing; capacity is warm after the first sweep (TestPhaseLoopZeroAllocs)
+	hd = append(hd, 0)   //jellyvet:allow hotpath -- push into scratch-owned heap backing; capacity is warm after the first sweep (TestPhaseLoopZeroAllocs)
 	// Single-destination fast path (permutation traffic: ~1 dst/source).
 	target := int32(-1)
 	if len(dsts) == 1 {
@@ -134,8 +138,8 @@ func (s *solver) sweep(sc *sweepScratch, src int32, dsts []int32) {
 			parent[v] = a
 			reach[v] = gen
 			// push(v, nd)
-			hn = append(hn, v)
-			hd = append(hd, nd)
+			hn = append(hn, v)  //jellyvet:allow hotpath -- push into scratch-owned heap backing; capacity is warm after the first sweep (TestPhaseLoopZeroAllocs)
+			hd = append(hd, nd) //jellyvet:allow hotpath -- push into scratch-owned heap backing; capacity is warm after the first sweep (TestPhaseLoopZeroAllocs)
 			i := len(hn) - 1
 			for i > 0 {
 				p := (i - 1) >> 2

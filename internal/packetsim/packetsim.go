@@ -171,6 +171,8 @@ func NewSim(switches, servers int) *Sim {
 //
 // The returned Result aliases the instance's goodput buffer: it is valid
 // until the next Simulate call on this Sim.
+//
+//jellyvet:hotpath
 func (s *Sim) Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config, src *rng.Source) Result {
 	s.cfg = cfgIn.withDefaults()
 	s.warmup = s.cfg.Horizon / 2
@@ -213,12 +215,12 @@ func (s *Sim) Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config,
 				p = paths[src.Intn(len(paths))]
 			}
 			start := int32(len(s.subLinkIDs))
-			s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.SrcNIC(f.SrcServer)))
+			s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.SrcNIC(f.SrcServer))) //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
 			for i := 0; i+1 < len(p); i++ {
-				s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.Link(p[i], p[i+1])))
+				s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.Link(p[i], p[i+1]))) //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
 			}
-			s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.DstNIC(f.DstServer)))
-			s.subs = append(s.subs, subflow{
+			s.subLinkIDs = append(s.subLinkIDs, s.touch(s.arena.DstNIC(f.DstServer))) //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
+			s.subs = append(s.subs, subflow{                                          //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
 				flow: int32(fi), linkStart: start, linkEnd: int32(len(s.subLinkIDs)),
 				cwnd: 2, ssthresh: 32,
 			})
@@ -238,7 +240,7 @@ func (s *Sim) Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config,
 	for len(s.heap) > 0 {
 		ei := s.pop()
 		ev := s.events[ei]
-		s.free = append(s.free, ei)
+		s.free = append(s.free, ei) //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
 		if ev.t > s.cfg.Horizon {
 			break
 		}
@@ -295,10 +297,12 @@ func Simulate(flows []traffic.Flow, table *routing.Table, cfgIn Config, src *rng
 
 // touch grows the busy-state tables to cover link arena id r and resets
 // its state on first touch of the current call.
+//
+//jellyvet:hotpath
 func (s *Sim) touch(r int32) int32 {
 	for int(r) >= len(s.gen) {
-		s.gen = append(s.gen, 0)
-		s.busy = append(s.busy, 0)
+		s.gen = append(s.gen, 0)   //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
+		s.busy = append(s.busy, 0) //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
 	}
 	if s.gen[r] != s.curGen {
 		s.gen[r] = s.curGen
@@ -308,6 +312,8 @@ func (s *Sim) touch(r int32) int32 {
 }
 
 // inject sends packets for subflow si until its window is filled.
+//
+//jellyvet:hotpath
 func (s *Sim) inject(now float64, si int32) {
 	sf := &s.subs[si]
 	for sf.inFlight < int32(sf.cwnd) {
@@ -318,6 +324,8 @@ func (s *Sim) inject(now float64, si int32) {
 
 // serve enqueues the packet at the subflow's hop-th link (or drops it at
 // the tail).
+//
+//jellyvet:hotpath
 func (s *Sim) serve(now float64, si, hop int32) {
 	sf := &s.subs[si]
 	l := s.subLinkIDs[sf.linkStart+hop]
@@ -340,6 +348,7 @@ func (s *Sim) serve(now float64, si, hop int32) {
 	}
 }
 
+//jellyvet:hotpath
 func (s *Sim) coupledIncrease(fi int32) float64 {
 	var wtot float64
 	for si := s.flowSubStart[fi]; si < s.flowSubStart[fi+1]; si++ {
@@ -368,6 +377,8 @@ func (a heapEntry) less(b heapEntry) bool {
 
 // push stores ev in a free arena slot (or a new one) and sifts its entry
 // up the heap.
+//
+//jellyvet:hotpath
 func (s *Sim) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
@@ -378,12 +389,12 @@ func (s *Sim) push(ev event) {
 		s.events[ei] = ev
 	} else {
 		ei = int32(len(s.events))
-		s.events = append(s.events, ev)
+		s.events = append(s.events, ev) //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
 	}
 	e := heapEntry{t: ev.t, seq: ev.seq, ei: ei}
 	h := s.heap
 	i := len(h)
-	h = append(h, e)
+	h = append(h, e) //jellyvet:allow hotpath -- grows Sim-owned arena reused across calls; steady state is zero-alloc (TestPacketZeroAllocs)
 	for i > 0 {
 		parent := (i - 1) / 4
 		if !e.less(h[parent]) {
@@ -398,6 +409,8 @@ func (s *Sim) push(ev event) {
 
 // pop removes and returns the arena index of the earliest event. The
 // caller reads the slot and returns it to the free-list.
+//
+//jellyvet:hotpath
 func (s *Sim) pop() int32 {
 	h := s.heap
 	top := h[0].ei

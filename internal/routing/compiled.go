@@ -111,7 +111,7 @@ func (c *Compiled) ECMP(pairs []Pair, w int, src *rng.Source, workers int) *Tabl
 		bySrc[p.Src] = append(bySrc[p.Src], p.Dst)
 	}
 	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
+	for s := range bySrc { //jellyvet:allow determinism -- keys collected then sorted before any use
 		srcs = append(srcs, s)
 	}
 	sort.Ints(srcs)

@@ -208,6 +208,7 @@ func LinkLoad(g *graph.Graph, t *Table) map[[2]int]int {
 		counts[[2]int{e.U, e.V}] = 0
 		counts[[2]int{e.V, e.U}] = 0
 	}
+	//jellyvet:allow determinism -- additive count reduction; increments commute across iteration order
 	for _, paths := range t.Paths {
 		for _, p := range paths {
 			for i := 0; i+1 < len(p); i++ {
@@ -223,7 +224,7 @@ func LinkLoad(g *graph.Graph, t *Table) map[[2]int]int {
 func RankedLinkLoads(g *graph.Graph, t *Table) []int {
 	counts := LinkLoad(g, t)
 	out := make([]int, 0, len(counts))
-	for _, c := range counts {
+	for _, c := range counts { //jellyvet:allow determinism -- values collected then sorted before any use
 		out = append(out, c)
 	}
 	sort.Ints(out)

@@ -219,6 +219,7 @@ type Scenario struct {
 	FailLinks    *FailLinksOp    `json:"failLinks,omitempty"`
 	FailSwitches *FailSwitchesOp `json:"failSwitches,omitempty"`
 	Expand       *ExpandOp       `json:"expand,omitempty"`
+	Miswire      *MiswireOp      `json:"miswire,omitempty"`
 }
 
 type FailLinksOp struct {
@@ -236,6 +237,16 @@ type ExpandOp struct {
 	Ports         int    `json:"ports"`
 	NetworkDegree int    `json:"networkDegree"`
 	Seed          uint64 `json:"seed"`
+}
+
+// MiswireOp swaps endpoint pairs between `count` random cable pairs —
+// the careless-cabling-crew model of §6.1 (SimulateMiswirings). The
+// paper's claim that a Jellyfish with a few crossed cables is just
+// another random graph becomes a testable what-if: chain a miswire step
+// and compare its throughput to the base's.
+type MiswireOp struct {
+	Count int    `json:"count"`
+	Seed  uint64 `json:"seed"`
 }
 
 // validate checks that exactly one operation is set and its parameters
@@ -261,8 +272,14 @@ func (sc *Scenario) validate(i int) *apiError {
 			return badRequest("invalid_scenario", "scenario %d: expand needs switches > 0, ports > 0, and 0 <= networkDegree <= ports", i)
 		}
 	}
+	if sc.Miswire != nil {
+		set++
+		if sc.Miswire.Count <= 0 {
+			return badRequest("invalid_scenario", "scenario %d: miswire.count must be > 0", i)
+		}
+	}
 	if set != 1 {
-		return badRequest("invalid_scenario", "scenario %d: exactly one of failLinks, failSwitches, expand must be set", i)
+		return badRequest("invalid_scenario", "scenario %d: exactly one of failLinks, failSwitches, expand, miswire must be set", i)
 	}
 	return nil
 }
@@ -276,6 +293,10 @@ func (sc *Scenario) apply(top *jellyfish.Topology) string {
 	case sc.FailSwitches != nil:
 		ids := jellyfish.FailRandomSwitches(top, sc.FailSwitches.Fraction, sc.FailSwitches.Seed)
 		return fmt.Sprintf("failSwitches(fraction=%v, seed=%d): %d switches failed", sc.FailSwitches.Fraction, sc.FailSwitches.Seed, len(ids))
+	case sc.Miswire != nil:
+		m := sc.Miswire
+		n := jellyfish.SimulateMiswirings(top, m.Count, m.Seed)
+		return fmt.Sprintf("miswire(count=%d, seed=%d): %d cable-pair swaps applied", m.Count, m.Seed, n)
 	default:
 		e := sc.Expand
 		jellyfish.Expand(top, e.Switches, e.Ports, e.NetworkDegree, e.Seed)

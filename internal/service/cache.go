@@ -9,6 +9,8 @@ import "container/list"
 // memoization, chain checkpoints). The cached values themselves are pure
 // functions of their keys, so eviction can change wall-clock but never a
 // response (DESIGN.md §10).
+//
+//jellyvet:confined
 type lru struct {
 	cap   int
 	order *list.List // front = most recently used

@@ -108,6 +108,8 @@ func (ts *TransportSpec) cacheKey() string {
 // simAsset is a "sim:" tier entry: the compiled transport instance of one
 // topology family. Confined to its shard worker like every mutable warm
 // asset; reuse is bit-identical to cold state.
+//
+//jellyvet:confined
 type simAsset struct {
 	top      *topology.Topology
 	compiled *routing.Compiled

@@ -104,13 +104,14 @@ func (js *jobStore) submit(sched *scheduler, spec *JobSpec) (*job, *apiError) {
 		id:      fmt.Sprintf("j%06d", js.seq),
 		typ:     spec.Type,
 		status:  jobQueued,
-		created: time.Now().UTC(),
+		created: time.Now().UTC(), //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
 	js.jobs[j.id] = j
 	js.mu.Unlock()
 
+	//jellyvet:allow determinism -- async job executor; the result itself is computed on the scheduler's deterministic path
 	go func() {
 		defer close(j.done)
 		// Jobs skip single-flight (each has its own cancellation scope)
@@ -119,13 +120,13 @@ func (js *jobStore) submit(sched *scheduler, spec *JobSpec) (*job, *apiError) {
 			j.mu.Lock()
 			if j.status == jobQueued {
 				j.status = jobRunning
-				j.started = time.Now().UTC()
+				j.started = time.Now().UTC() //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest
 			}
 			j.mu.Unlock()
 		})
 		j.mu.Lock()
 		defer j.mu.Unlock()
-		j.finished = time.Now().UTC()
+		j.finished = time.Now().UTC() //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest
 		switch {
 		case err == nil:
 			j.status = jobSucceeded
@@ -201,6 +202,7 @@ func olderID(a, b string) bool {
 // one was found.
 func (js *jobStore) evictFinishedLocked() bool {
 	oldest := ""
+	//jellyvet:allow determinism -- min-by-id reduction; result independent of iteration order
 	for id, j := range js.jobs {
 		j.mu.Lock()
 		finished := j.status == jobSucceeded || j.status == jobFailed || j.status == jobCancelled
@@ -230,7 +232,7 @@ func (js *jobStore) get(id string) (*job, *apiError) {
 func (js *jobStore) list() []JobView {
 	js.mu.Lock()
 	jobs := make([]*job, 0, len(js.jobs))
-	for _, j := range js.jobs {
+	for _, j := range js.jobs { //jellyvet:allow determinism -- collected then sorted by id before any use
 		jobs = append(jobs, j)
 	}
 	js.mu.Unlock()

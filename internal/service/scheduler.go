@@ -60,6 +60,11 @@ type stats struct {
 	syncRejected atomic.Int64
 }
 
+// worker is one cache shard: a queue, the warm-state cache it owns, and
+// the goroutine (spawned in newScheduler) that is the sole executor of
+// everything behind it.
+//
+//jellyvet:confined
 type worker struct {
 	queue         chan *task
 	cache         *lru
@@ -97,6 +102,7 @@ func newScheduler(workers, solverWorkers, cacheEntries int) *scheduler {
 		}
 		s.workers[i] = w
 		s.wg.Add(1)
+		//jellyvet:allow determinism,confinement -- the shard worker pool itself: w is handed off here, before the loop starts, and this goroutine becomes its sole owner
 		go func() {
 			defer s.wg.Done()
 			for t := range w.queue {

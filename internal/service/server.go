@@ -98,7 +98,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // in-flight work drains.
 func (s *Server) Close() {
 	s.jobs.mu.Lock()
-	for _, j := range s.jobs.jobs {
+	for _, j := range s.jobs.jobs { //jellyvet:allow determinism -- shutdown cancels every job; order is irrelevant
 		j.cancel()
 	}
 	s.jobs.mu.Unlock()

@@ -200,6 +200,38 @@ func TestWhatIfEndpoint(t *testing.T) {
 	}
 }
 
+// TestWhatIfMiswireScenario pins the §6.1 story as a what-if: endpoint
+// swaps preserve every degree (so switch, server, and link counts are
+// unchanged), and a Jellyfish with a few crossed cables is still just a
+// random graph, so throughput stays in the base's neighborhood.
+func TestWhatIfMiswireScenario(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Workers: 2})
+	body := mustPost(t, ts.URL+"/v1/whatif", `{
+		"base":{"design":{"switches":20,"ports":8,"networkDegree":5,"seed":13}},
+		"seed":17,
+		"scenarios":[{"miswire":{"count":3,"seed":7}}]}`)
+	var resp WhatIfResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Steps) != 2 {
+		t.Fatalf("got %d steps, want 2 (base + miswire)", len(resp.Steps))
+	}
+	base, mis := resp.Steps[0], resp.Steps[1]
+	if !strings.Contains(mis.Description, "miswire(count=3, seed=7)") {
+		t.Fatalf("miswire step description = %q", mis.Description)
+	}
+	if mis.Switches != base.Switches || mis.Servers != base.Servers || mis.Links != base.Links {
+		t.Fatalf("miswiring changed counts: base %+v -> %+v", base, mis)
+	}
+	if mis.Throughput <= 0 || mis.Throughput > 1 {
+		t.Fatalf("miswire throughput %v outside (0,1]", mis.Throughput)
+	}
+	if mis.Throughput < 0.75*base.Throughput {
+		t.Fatalf("miswired throughput %v collapsed versus base %v; a few swapped cables should leave a random graph random", mis.Throughput, base.Throughput)
+	}
+}
+
 func TestRewireEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t, Options{Workers: 2})
 	before := jellyfish.New(jellyfish.Config{Switches: 20, Ports: 8, NetworkDegree: 5, Seed: 19})
@@ -250,6 +282,7 @@ func TestValidationErrors(t *testing.T) {
 		{"malformed json", "/v1/evaluate", `{"topology":`, "invalid_json"},
 		{"bad scenario", "/v1/whatif", `{"base":{"design":{"switches":10,"ports":4,"networkDegree":2,"seed":1}},"scenarios":[{}]}`, "invalid_scenario"},
 		{"two-op scenario", "/v1/whatif", `{"base":{"design":{"switches":10,"ports":4,"networkDegree":2,"seed":1}},"scenarios":[{"failLinks":{"fraction":0.1,"seed":1},"failSwitches":{"fraction":0.1,"seed":1}}]}`, "invalid_scenario"},
+		{"zero-count miswire", "/v1/whatif", `{"base":{"design":{"switches":10,"ports":4,"networkDegree":2,"seed":1}},"scenarios":[{"miswire":{"count":0,"seed":7}}]}`, "invalid_scenario"},
 		{"unknown job type", "/v1/jobs", `{"type":"frobnicate","request":{}}`, "unknown_job_type"},
 	}
 	for _, tc := range cases {

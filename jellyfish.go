@@ -54,6 +54,36 @@
 // Fig. 2(c)-style search (BENCH_mcf.json). CapacitySearch exposes the
 // knobs, including the ColdStart A/B lever; WhatIfEvaluator (ops.go)
 // gives operators the same warm chain for what-if scenario sequences.
+//
+// # Writing kernel code
+//
+// The invariants above are machine-checked: cmd/jellyvet (analyzers in
+// internal/lint, catalog in DESIGN.md §12) runs in CI and fails the
+// build on violations. When touching a solver or simulator kernel:
+//
+//  1. Stay deterministic. In the packages listed in
+//     lint.DeterministicPackages, don't range over maps (collect keys
+//     and sort), don't read the clock, don't use the global math/rand
+//     stream, and don't spawn goroutines outside internal/parallel.
+//  2. Mark hot functions //jellyvet:hotpath and keep them at zero
+//     steady-state allocations: no make/new/literals/closures/fmt, no
+//     interface boxing. Growth of handle-owned scratch is fine, but
+//     each append site carries a //jellyvet:allow naming the
+//     zero-alloc test that pins its steady state.
+//  3. Derive randomness by stable index: rng.Source.Split/SplitN per
+//     task, and consume every stream you split (discarding one
+//     silently shifts all later streams).
+//  4. Keep warm state confined. Types marked //jellyvet:confined (the
+//     planner cache's entries, the scheduler's shard workers) belong
+//     to exactly one goroutine — never store them in globals, send
+//     them on channels, or capture them in a new goroutine.
+//  5. To overrule an analyzer, write
+//     //jellyvet:allow <analyzer> -- <why this site is sound>; the
+//     reason is mandatory and reviewed, and a bare suppression is
+//     itself a finding.
+//
+// Run `go run ./cmd/jellyvet ./...` before pushing; `go test
+// ./internal/lint` exercises the analyzers themselves.
 package jellyfish
 
 import (
