@@ -35,6 +35,12 @@
 //
 //	go run ./cmd/benchgate -bench-file bench-multicore.txt -budget BENCH_mcf.json
 //
+// -fold is the shorthand for exactly that invocation: it folds from the
+// artifact's conventional filename, bench-multicore.txt, in the current
+// directory (an explicit -bench-file overrides the filename):
+//
+//	go run ./cmd/benchgate -fold -note "ubuntu-latest 4 vCPU"
+//
 // -note records measurement provenance (host, caveats) in the folded
 // section, so a fold from an unusual environment documents itself.
 // Every other top-level section of the budget file is preserved
@@ -78,9 +84,13 @@ func main() {
 	budgetPath := flag.String("budget", "BENCH_mcf.json", "budget JSON (ci_budget section)")
 	input := flag.String("input", "", "bench output file (default: stdin)")
 	benchFile := flag.String("bench-file", "", "fold mode: parse this bench output (e.g. the downloaded bench-multicore artifact) and write its numbers into the budget file's \"multicore\" section instead of gating")
+	foldFlag := flag.Bool("fold", false, "fold mode with the conventional artifact name bench-multicore.txt (shorthand for -bench-file bench-multicore.txt)")
 	note := flag.String("note", "", "fold mode: provenance note recorded in the folded \"multicore\" section")
 	flag.Parse()
 
+	if *foldFlag && *benchFile == "" {
+		*benchFile = "bench-multicore.txt"
+	}
 	if *benchFile != "" {
 		if err := fold(*budgetPath, *benchFile, *note); err != nil {
 			fatal("%v", err)

@@ -116,7 +116,7 @@ func KLBisection(g *graph.Graph, weights []int, restarts int, src *rng.Source) (
 	bestCut := math.MaxInt
 	var bestSide []bool
 	for rs := 0; rs < restarts; rs++ {
-		s := randomBalancedSide(n, weights, src.SplitN("restart", rs))
+		s := RandomBalancedSide(n, weights, src.SplitN("restart", rs))
 		c := refine(g, s, weights)
 		if c < bestCut {
 			bestCut = c
@@ -126,10 +126,10 @@ func KLBisection(g *graph.Graph, weights []int, restarts int, src *rng.Source) (
 	return bestCut, bestSide
 }
 
-// randomBalancedSide assigns vertices to sides by descending weight (random
+// RandomBalancedSide assigns vertices to sides by descending weight (random
 // tie order), always placing into the lighter side — the LPT rule, which
 // balances within the largest single weight.
-func randomBalancedSide(n int, weights []int, src *rng.Source) []bool {
+func RandomBalancedSide(n int, weights []int, src *rng.Source) []bool {
 	side := make([]bool, n)
 	order := src.Perm(n)
 	sort.SliceStable(order, func(i, j int) bool {

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"jellyfish/internal/estimate"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
@@ -173,6 +174,16 @@ type Config struct {
 	// Solver overrides the per-trial solver options (zero value =
 	// defaults; its Workers field is superseded by Config.Workers).
 	Solver mcf.Options
+	// Estimator, when non-nil, screens each trial with certified bounds
+	// before the exact solve: a trial whose estimator Upper bound falls
+	// below 1-Slack is rejected without solving — answer-preserving
+	// because the exact solver's λ ≤ λ* ≤ Upper < 1-Slack, so it would
+	// have rejected too. Acceptances are NEVER taken from the estimator
+	// (the exact solver's approximate λ could fall below a bound-certified
+	// 1-Slack, which would flip answers vs. exact-only search); the final
+	// bracket is always confirmed by exact solves. Estimators are not
+	// safe for concurrent use — give each search its own.
+	Estimator estimate.ThroughputEstimator
 	// Interrupt, when non-nil, is polled between trial solves; returning
 	// true abandons the search (MaxServers returns ErrInterrupted). This
 	// is the cancellation hook for long-running service jobs: solves are
@@ -317,6 +328,18 @@ func (p *prober) predict() int {
 // reporting whether the permutation is supported at full rate.
 func (p *prober) trial(i int, top *topology.Topology, assign []int) bool {
 	comms := cycleCommodities(assign, p.cfg.Traffic.SplitN("trial", i))
+	if p.cfg.Estimator != nil {
+		b := p.cfg.Estimator.Estimate(top.Compact(), comms)
+		if b.Upper < 1-p.cfg.Slack {
+			// Certified rejection: feed the estimator's bracket to the
+			// boundary predictor (the exact certificates it replaces) and
+			// skip the solve. Trial i's warm chain simply doesn't advance
+			// here; chains remain pure functions of the probe sequence.
+			p.last.lb = math.Min(p.last.lb, b.Lower)
+			p.last.ub = math.Min(p.last.ub, b.Upper)
+			return false
+		}
+	}
 	var warm *mcf.State
 	if !p.cfg.Cold {
 		warm = p.states[i]

@@ -3,6 +3,7 @@ package capsearch
 import (
 	"testing"
 
+	"jellyfish/internal/estimate"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
@@ -165,6 +166,48 @@ func TestWarmVsColdSameInstancesAndAgreement(t *testing.T) {
 	}
 	if common == 0 {
 		t.Fatal("no common probe positions between warm and cold searches")
+	}
+}
+
+// Estimator screening is reject-only: a screened search must return the
+// same answer as the exact-only search for every estimator kind, because
+// a trial is skipped only when the estimator's certified upper bound
+// already proves the exact solver would reject it.
+func TestMaxServersEstimatorIdentity(t *testing.T) {
+	run := func(est estimate.ThroughputEstimator) (int, int) {
+		probes := 0
+		debugProbe = func(servers, trial int, ok bool, st *mcf.State) { probes++ }
+		defer func() { debugProbe = nil }()
+		got, err := MaxServers(Config{
+			Lo: 20, Hi: 20 * 7,
+			Family:  testFamily(20, 8, 11),
+			Traffic: rng.New(77),
+			Trials:  2, Slack: 0.03, Workers: 1,
+			Estimator: est,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, probes
+	}
+	base, baseProbes := run(nil)
+	if base <= 0 {
+		t.Fatalf("exact-only search returned %d on a healthy inventory", base)
+	}
+	for _, kind := range estimate.Kinds() {
+		est, err := estimate.New(kind, 16, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, probes := run(est)
+		if got != base {
+			t.Fatalf("estimator %q: result %d != exact-only result %d", kind, got, base)
+		}
+		// Screening can only remove exact solves, never add them.
+		if probes > baseProbes {
+			t.Fatalf("estimator %q: %d exact probes > unscreened %d", kind, probes, baseProbes)
+		}
+		t.Logf("%s: %d exact probes (unscreened %d)", kind, probes, baseProbes)
 	}
 }
 

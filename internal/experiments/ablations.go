@@ -87,9 +87,11 @@ func AblationOversubscription(opt Options) *Table {
 	sv := mcf.NewSolver(mcf.Options{Workers: w})
 	var st *mcf.State
 	tps := make([]float64, len(srvs))
+	var srvBuf []int // reused across the chain; each pattern dies with its probe
 	for i, srv := range srvs {
 		top := fam.At(n * srv)
-		pat := traffic.RandomPermutation(top.ServerSwitches(), src.SplitN("traffic", srv))
+		srvBuf = top.ServerSwitchesInto(srvBuf)
+		pat := traffic.RandomPermutation(srvBuf, src.SplitN("traffic", srv))
 		if opt.ColdStart {
 			st = nil
 		}
@@ -220,10 +222,12 @@ func AblationSwitchFailures(opt Options) *Table {
 		sv := mcf.NewSolver(mcf.Options{Workers: 1})
 		var st *mcf.State
 		out := trialOut{surv: make([]int, len(fracs)), tp: make([]float64, len(fracs))}
+		var srvBuf []int // trial-local: reused across the nested failure chain
 		for fi, f := range fracs {
 			top := base.Clone()
 			topology.FailSwitches(top, perm[:int(f*float64(n))])
-			pat := traffic.RandomPermutation(top.ServerSwitches(), tsrc.SplitN("traffic", fi))
+			srvBuf = top.ServerSwitchesInto(srvBuf)
+			pat := traffic.RandomPermutation(srvBuf, tsrc.SplitN("traffic", fi))
 			if opt.ColdStart {
 				st = nil
 			}

@@ -47,6 +47,7 @@ func routeTable(t *topology.Topology, pat *traffic.Pattern, scheme string, src *
 // to fresh per-trial state for every worker count.
 type transportKit struct {
 	top      *topology.Topology
+	srv      []int // server→switch map, computed once, read-only across workers
 	compiled *routing.Compiled
 	sims     []*flowsim.Sim
 }
@@ -54,6 +55,7 @@ type transportKit struct {
 func newTransportKit(top *topology.Topology, workers int) *transportKit {
 	k := &transportKit{
 		top:      top,
+		srv:      top.ServerSwitches(),
 		compiled: routing.NewCompiled(top.Graph),
 		sims:     make([]*flowsim.Sim, parallel.Workers(workers)),
 	}
@@ -72,7 +74,7 @@ func newTransportKit(top *topology.Topology, workers int) *transportKit {
 // split would be dead, and dropping it everywhere keeps any future
 // consumption from silently shifting pinned streams).
 func (k *transportKit) simMean(worker int, scheme string, proto flowsim.Protocol, src *rng.Source) float64 {
-	pat := traffic.RandomPermutation(k.top.ServerSwitches(), src.Split("traffic"))
+	pat := traffic.RandomPermutation(k.srv, src.Split("traffic"))
 	table := compiledTable(k.compiled, pat, scheme, src.Split("routes"), 1)
 	return k.sims[worker].Simulate(pat.Flows, table, proto, flowsim.SimSource(src, proto)).Mean()
 }

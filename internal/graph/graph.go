@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // An Edge is an undirected edge between vertices U and V with U < V.
@@ -31,6 +32,11 @@ func Canon(u, v int) Edge {
 type Graph struct {
 	adj [][]int // sorted adjacency lists
 	m   int     // number of edges
+
+	// CSR snapshot cache: version counts successful mutations, csr holds
+	// the last snapshot built (tagged with the version it reflects).
+	version uint64
+	csr     atomic.Pointer[csrSnap]
 }
 
 // New returns an empty graph with n vertices and no edges.
@@ -50,6 +56,7 @@ func (g *Graph) M() int { return g.m }
 // AddVertex appends a new isolated vertex and returns its ID.
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
+	g.mutated()
 	return len(g.adj) - 1
 }
 
@@ -85,6 +92,7 @@ func (g *Graph) AddEdge(u, v int) bool {
 	g.insertHalf(u, v)
 	g.insertHalf(v, u)
 	g.m++
+	g.mutated()
 	return true
 }
 
@@ -96,6 +104,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	g.removeHalf(u, v)
 	g.removeHalf(v, u)
 	g.m--
+	g.mutated()
 	return true
 }
 

@@ -110,22 +110,41 @@ func (g *Graph) AllPairsStats() PathStats {
 // with u,v in subset (all vertices if subset is nil) and u != v. This is
 // used to measure switch-to-switch and server-to-server path lengths.
 func (g *Graph) PairsStats(subset []int) PathStats {
+	var sc PairsScratch
+	return g.PairsStatsInto(subset, &sc)
+}
+
+// PairsScratch holds the reusable working buffers of PairsStatsInto.
+// The zero value is ready to use; buffers grow to the largest graph seen
+// and are reused across calls. Not safe for concurrent use.
+type PairsScratch struct {
+	dist    []int
+	queue   []int
+	sources []int
+	hist    []int64
+}
+
+// PairsStatsInto is PairsStats with caller-owned scratch: repeated calls
+// over a warm chain of same-sized graphs allocate nothing after the first.
+// The returned PathStats.Hist aliases the scratch and is valid only until
+// the next call with the same scratch — copy it to retain.
+func (g *Graph) PairsStatsInto(subset []int, sc *PairsScratch) PathStats {
 	n := g.N()
 	sources := subset
 	if sources == nil {
-		sources = make([]int, n)
-		for i := range sources {
-			sources[i] = i
+		sc.sources = sc.sources[:0]
+		for i := 0; i < n; i++ {
+			sc.sources = append(sc.sources, i)
 		}
+		sources = sc.sources
 	}
-	inSet := make([]bool, n)
-	for _, v := range sources {
-		inSet[v] = true
-	}
-	stats := PathStats{Connected: true}
+	stats := PathStats{Connected: true, Hist: sc.hist[:0]}
 	var sum int64
-	dist := make([]int, n)
-	queue := make([]int, 0, n)
+	if cap(sc.dist) < n {
+		sc.dist = make([]int, n)
+		sc.queue = make([]int, 0, n)
+	}
+	dist, queue := sc.dist[:n], sc.queue[:0]
 	for _, src := range sources {
 		for i := range dist {
 			dist[i] = Unreachable
@@ -154,6 +173,7 @@ func (g *Graph) PairsStats(subset []int) PathStats {
 	if stats.Pairs > 0 {
 		stats.Mean = float64(sum) / float64(stats.Pairs)
 	}
+	sc.hist = stats.Hist // keep any growth for the next call
 	return stats
 }
 

@@ -17,6 +17,7 @@ import "sort"
 // observes the new adjacency.
 type KSPEngine struct {
 	g     *Graph
+	csr   *CSR // refreshed at the top of each Paths call
 	epoch uint32
 	// BFS scratch, valid where stamp == epoch.
 	seen   []uint32
@@ -52,7 +53,7 @@ func (e *KSPEngine) bump() {
 }
 
 func (e *KSPEngine) ensure() {
-	n := e.g.N()
+	n := e.csr.N()
 	if len(e.seen) >= n {
 		return
 	}
@@ -71,6 +72,10 @@ func (e *KSPEngine) Paths(src, dst, k int) []Path {
 	if k <= 0 {
 		return nil
 	}
+	// Refresh the adjacency snapshot: unmutated graphs return the cached
+	// pointer, mutated ones a rebuilt snapshot — which is how "mutating
+	// the graph between calls" keeps working.
+	e.csr = e.g.CSR()
 	e.ensure()
 	e.maskedNbrs = e.maskedNbrs[:0]
 	e.bump()
@@ -169,7 +174,7 @@ func (e *KSPEngine) bfs(src, dst int, masked bool) Path {
 	if src == dst {
 		return Path{src} //jellyvet:allow hotpath -- returned Path is caller-owned by contract; one allocation per emitted path
 	}
-	g := e.g
+	c := e.csr
 	ep := e.epoch
 	e.seen[src] = ep
 	e.dist[src] = 0
@@ -183,7 +188,8 @@ func (e *KSPEngine) bfs(src, dst int, masked bool) Path {
 		head++
 		du := e.dist[u]
 		edgeMasks := masked && u == src && len(e.maskedNbrs) > 0
-		for _, v := range g.adj[u] {
+		for _, v32 := range c.Nbrs[c.Offsets[u]:c.Offsets[u+1]] {
+			v := int(v32)
 			if e.seen[v] == ep || (masked && e.skipNode[v] == ep) {
 				continue
 			}

@@ -25,6 +25,7 @@ var DeterministicPackages = []string{
 	"internal/packetsim",
 	"internal/graph",
 	"internal/routing",
+	"internal/estimate",
 	"internal/capsearch",
 	"internal/traffic",
 	"internal/experiments",

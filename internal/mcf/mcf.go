@@ -95,8 +95,18 @@ type Result struct {
 // Demand <= 0 are ignored (they consume no network capacity). If there are
 // no effective commodities the result has Lambda = +Inf.
 func MaxConcurrentFlow(g *graph.Graph, comms []Commodity, opt Options) Result {
+	return MaxConcurrentFlowCSR(g.CSR(), comms, opt)
+}
+
+// MaxConcurrentFlowCSR is MaxConcurrentFlow over a compact adjacency
+// snapshot (see graph.CSR). It is the native entry point of the megascale
+// tier: consumers that already hold a snapshot (topology.Compact, the
+// estimate package) avoid touching the mutable graph entirely, and
+// repeated solves on the identical snapshot pointer skip the edge-set
+// comparison a fresh Graph would require.
+func MaxConcurrentFlowCSR(csr *graph.CSR, comms []Commodity, opt Options) Result {
 	opt = opt.withDefaults()
-	s := newSolver(g, comms, opt)
+	s := newSolver(csr, comms, opt)
 	if s == nil {
 		return Result{Lambda: math.Inf(1), UpperBound: math.Inf(1)}
 	}
@@ -109,7 +119,7 @@ func MaxConcurrentFlow(g *graph.Graph, comms []Commodity, opt Options) Result {
 // approximation error) and UpperBound < 1-slack to reject.
 func FeasibleAtFull(g *graph.Graph, comms []Commodity, opt Options, slack float64) bool {
 	opt = opt.withDefaults()
-	s := newSolver(g, comms, opt)
+	s := newSolver(g.CSR(), comms, opt)
 	if s == nil {
 		return true
 	}
@@ -120,7 +130,7 @@ func FeasibleAtFull(g *graph.Graph, comms []Commodity, opt Options, slack float6
 }
 
 type solver struct {
-	g   *graph.Graph
+	csr *graph.CSR
 	opt Options
 
 	// static topology, flattened to CSR so a sweep touches three flat
@@ -213,9 +223,9 @@ const sourceBatch = 4
 // few phases.
 const dualRefreshEvery = 8
 
-func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
+func newSolver(csr *graph.CSR, comms []Commodity, opt Options) *solver {
 	s := &solver{}
-	if !s.init(g, comms, opt) {
+	if !s.init(csr, comms, opt) {
 		return nil
 	}
 	return s
@@ -227,8 +237,7 @@ func newSolver(g *graph.Graph, comms []Commodity, opt Options) *solver {
 // instances (see Solver) does no steady-state topology allocations — and
 // when the edge set is unchanged it skips the CSR arc-array rebuild
 // entirely. Returns false when no effective commodities remain.
-func (s *solver) init(g *graph.Graph, comms []Commodity, opt Options) bool {
-	s.g = g
+func (s *solver) init(csr *graph.CSR, comms []Commodity, opt Options) bool {
 	s.opt = opt
 	s.arcCap = opt.LinkCapacity
 	s.epsilon = opt.Epsilon
@@ -252,11 +261,16 @@ func (s *solver) init(g *graph.Graph, comms []Commodity, opt Options) bool {
 
 	// Topology: rebuild the CSR arc arrays only when the edge set actually
 	// changed since the previous instance (the arrays are rewritten in
-	// place; see buildArcs). Same-graph re-solves — the common case when
-	// warm-starting across perturbed commodity sets — skip this entirely.
-	edges := g.Edges()
-	if s.n != g.N() || !slices.Equal(edges, s.edges) {
-		s.buildArcs(g.N(), edges)
+	// place; see buildArcs). The identical-snapshot pointer — the common
+	// case when warm-starting across perturbed commodity sets — skips even
+	// the edge-list comparison; snapshots are immutable, so pointer
+	// equality implies edge-set equality.
+	if s.csr != csr {
+		edges := csr.Edges()
+		if s.n != csr.N() || !slices.Equal(edges, s.edges) {
+			s.buildArcs(csr.N(), edges)
+		}
+		s.csr = csr
 	}
 	m := len(s.edges)
 

@@ -108,7 +108,7 @@ func TestPhaseLoopZeroAllocs(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		comms = append(comms, Commodity{i, (i + 5) % 16, 2})
 	}
-	s := newSolver(g, comms, Options{Workers: 1}.withDefaults())
+	s := newSolver(g.CSR(), comms, Options{Workers: 1}.withDefaults())
 	s.phase()
 	s.dualBound()
 	allocs := testing.AllocsPerRun(10, func() {

@@ -127,7 +127,7 @@ func (sv *Solver) FeasibleAtFull(g *graph.Graph, comms []Commodity, slack float6
 }
 
 func (sv *Solver) solve(g *graph.Graph, comms []Commodity, warm *State, accept, reject float64) (Result, *State) {
-	if !sv.s.init(g, comms, sv.opt) {
+	if !sv.s.init(g.CSR(), comms, sv.opt) {
 		return Result{Lambda: math.Inf(1), UpperBound: math.Inf(1)}, warm
 	}
 	sv.s.restart = true

@@ -29,7 +29,8 @@ import (
 // discarded if the underlying graph mutates (the incremental searches
 // build one per probe).
 type Compiled struct {
-	g *graph.Graph
+	g   *graph.Graph
+	csr *graph.CSR // adjacency snapshot taken at NewCompiled
 
 	mu   sync.Mutex
 	ksp  map[kspKey][]graph.Path
@@ -50,7 +51,7 @@ type ecmpSource struct {
 
 // NewCompiled returns an empty compiled instance for g.
 func NewCompiled(g *graph.Graph) *Compiled {
-	return &Compiled{g: g, ksp: map[kspKey][]graph.Path{}, ecmp: map[int]*ecmpSource{}}
+	return &Compiled{g: g, csr: g.CSR(), ksp: map[kspKey][]graph.Path{}, ecmp: map[int]*ecmpSource{}}
 }
 
 // Graph returns the graph this instance was compiled against.
@@ -121,7 +122,7 @@ func (c *Compiled) ECMP(pairs []Pair, w int, src *rng.Source, workers int) *Tabl
 		es := c.source(s)
 		out := make([][]graph.Path, len(bySrc[s]))
 		for j, dst := range bySrc[s] {
-			out[j] = sampleEqualCostPaths(c.g, s, dst, es.dist, es.npaths, w, ssrc)
+			out[j] = sampleEqualCostPaths(c.csr, s, dst, es.dist, es.npaths, w, ssrc)
 		}
 		return out
 	})
@@ -143,8 +144,8 @@ func (c *Compiled) source(s int) *ecmpSource {
 		es = &ecmpSource{unblock: make(chan struct{})}
 		c.ecmp[s] = es
 		c.mu.Unlock()
-		es.dist = c.g.BFS(s)
-		es.npaths = pathCounts(c.g, s, es.dist)
+		es.dist = bfsLevels(c.csr, s)
+		es.npaths = pathCounts(c.csr, s, es.dist)
 		close(es.unblock)
 		return es
 	}

@@ -65,10 +65,35 @@ func dedupPairs(pairs []Pair) []Pair {
 	return out
 }
 
+// bfsLevels computes BFS hop counts from s over the snapshot, with
+// graph.Unreachable for unreached vertices — the same output as
+// Graph.BFS, read off the compact adjacency.
+func bfsLevels(c *graph.CSR, s int) []int {
+	n := c.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = graph.Unreachable
+	}
+	dist[s] = 0
+	queue := make([]int32, 1, n)
+	queue[0] = int32(s)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u] + 1
+		for _, v := range c.Neighbors(int(u)) {
+			if dist[v] == graph.Unreachable {
+				dist[v] = du
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
 // pathCounts computes the number of shortest paths from s to every vertex
 // by DP in BFS-distance order.
-func pathCounts(g *graph.Graph, s int, dist []int) []float64 {
-	n := g.N()
+func pathCounts(c *graph.CSR, s int, dist []int) []float64 {
+	n := c.N()
 	order := make([]int, 0, n)
 	for v := 0; v < n; v++ {
 		if dist[v] != graph.Unreachable {
@@ -82,7 +107,7 @@ func pathCounts(g *graph.Graph, s int, dist []int) []float64 {
 		if v == s {
 			continue
 		}
-		for _, u := range g.Neighbors(v) {
+		for _, u := range c.Neighbors(v) {
 			if dist[u] == dist[v]-1 {
 				np[v] += np[u]
 			}
@@ -96,7 +121,7 @@ func pathCounts(g *graph.Graph, s int, dist []int) []float64 {
 // (enumerated exhaustively — rejection sampling could terminate early and
 // silently drop paths the table contract promises); otherwise rejection
 // sampling collects w distinct ones.
-func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float64, w int, src *rng.Source) []graph.Path {
+func sampleEqualCostPaths(c *graph.CSR, s, dst int, dist []int, npaths []float64, w int, src *rng.Source) []graph.Path {
 	if dist[dst] == graph.Unreachable {
 		return nil
 	}
@@ -108,7 +133,7 @@ func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float
 		// npaths saturates only far above any practical w, so in this
 		// regime the count is exact and enumeration is cheap: the DAG
 		// holds at most w paths.
-		return enumerateEqualCostPaths(g, s, dst, dist)
+		return enumerateEqualCostPaths(c, s, dst, dist)
 	}
 	want := w
 	seen := map[string]bool{}
@@ -124,17 +149,17 @@ func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float
 		v := dst
 		for i := len(path) - 2; i >= 0; i-- {
 			var sum float64
-			for _, u := range g.Neighbors(v) {
+			for _, u := range c.Neighbors(v) {
 				if dist[u] == dist[v]-1 {
 					sum += npaths[u]
 				}
 			}
 			x := src.Float64() * sum
 			next := -1
-			for _, u := range g.Neighbors(v) {
+			for _, u := range c.Neighbors(v) {
 				if dist[u] == dist[v]-1 {
 					x -= npaths[u]
-					next = u
+					next = int(u)
 					if x <= 0 {
 						break
 					}
@@ -157,7 +182,7 @@ func sampleEqualCostPaths(g *graph.Graph, s, dst int, dist []int, npaths []float
 // order, by walking the shortest-path DAG backwards from dst (predecessors
 // of v are the neighbors one BFS level closer to s). Callers bound the
 // path count before enumerating.
-func enumerateEqualCostPaths(g *graph.Graph, s, dst int, dist []int) []graph.Path {
+func enumerateEqualCostPaths(c *graph.CSR, s, dst int, dist []int) []graph.Path {
 	var out []graph.Path
 	stack := make(graph.Path, dist[dst]+1)
 	stack[len(stack)-1] = dst
@@ -167,10 +192,10 @@ func enumerateEqualCostPaths(g *graph.Graph, s, dst int, dist []int) []graph.Pat
 			out = append(out, append(graph.Path(nil), stack...))
 			return
 		}
-		for _, u := range g.Neighbors(v) {
+		for _, u := range c.Neighbors(v) {
 			if dist[u] == dist[v]-1 {
-				stack[i-1] = u
-				walk(u, i-1)
+				stack[i-1] = int(u)
+				walk(int(u), i-1)
 			}
 		}
 	}

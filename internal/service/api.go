@@ -175,23 +175,44 @@ type TransportSpec struct {
 	Routing string `json:"routing,omitempty"`
 }
 
+// An EstimatorSpec selects a bounded approximate throughput estimator
+// (internal/estimate) instead of the exact flow solver: the megascale
+// path for instances far beyond the exact solver's practical scale.
+// Results carry certified [lower, upper] brackets around the exact
+// answer, never point estimates.
+type EstimatorSpec struct {
+	// Kind is "bisection", "spectral", or "sampled-mcf".
+	Kind string `json:"kind"`
+	// Sample is the sampled-mcf commodity subsample size (0 selects the
+	// default; ignored by the other kinds).
+	Sample int `json:"sample,omitempty"`
+}
+
 // EvaluateRequest asks for throughput under random-permutation traffic;
 // trial i evaluates at seed+i, so trials=1 at seed s reproduces
 // jellyfish.OptimalThroughput(t, s) exactly. With Transport set, trials
 // run the flow-level transport simulator over compiled per-topology
 // instances (the "sim:" warm-cache tier) instead of the optimal-routing
-// solver.
+// solver. With Estimator set (exclusive with Transport), trials run the
+// named bounded estimator: Throughputs carries the certified lower
+// bounds and Bounds the full [lower, upper] brackets.
 type EvaluateRequest struct {
 	Topology  TopologySpec   `json:"topology"`
 	Seed      uint64         `json:"seed"`
 	Trials    int            `json:"trials,omitempty"`
 	Transport *TransportSpec `json:"transport,omitempty"`
+	Estimator *EstimatorSpec `json:"estimator,omitempty"`
 }
 
 type EvaluateResponse struct {
 	Throughputs []float64 `json:"throughputs"`
 	Min         float64   `json:"min"`
 	Mean        float64   `json:"mean"`
+	// Bounds, present only for estimator evaluations, carries trial i's
+	// certified [lower, upper] bracket around the exact normalized
+	// throughput (omitted otherwise, keeping legacy responses
+	// byte-identical).
+	Bounds [][2]float64 `json:"bounds,omitempty"`
 }
 
 // CapacitySearchRequest is the request-shaped jellyfish.CapacitySearch.
@@ -204,6 +225,11 @@ type CapacitySearchRequest struct {
 	Slack     float64 `json:"slack,omitempty"`
 	Seed      uint64  `json:"seed"`
 	ColdStart bool    `json:"coldStart,omitempty"`
+	// Estimator, when set, screens probe trials with certified bounds so
+	// only near-boundary probes pay for exact solves. Answers are
+	// identical to the exact-only search (rejection-only screening; the
+	// final bracket is always confirmed exactly).
+	Estimator *EstimatorSpec `json:"estimator,omitempty"`
 }
 
 type CapacitySearchResponse struct {

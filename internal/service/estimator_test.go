@@ -1,0 +1,117 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// Estimator evaluations return per-trial certified bounds, use the lower
+// bound as the conservative throughput column, and stay byte-identical
+// across worker counts and cache states.
+func TestEvaluateEstimator(t *testing.T) {
+	req := `{"topology":{"design":{"switches":20,"ports":8,"networkDegree":5,"seed":4}},` +
+		`"seed":9,"trials":3,"estimator":{"kind":"bisection"}}`
+	warmURL, _ := newTestServer(t, Options{Workers: 1})
+	var warm []byte
+	for round := 0; round < 2; round++ { // second round exercises the response cache
+		warm = mustPost(t, warmURL.URL+"/v1/evaluate", req)
+	}
+	coldURL, _ := newTestServer(t, Options{Workers: 4})
+	cold := mustPost(t, coldURL.URL+"/v1/evaluate", req)
+	if !bytes.Equal(warm, cold) {
+		t.Fatalf("estimator evaluation differs across servers:\nwarm %s\ncold %s", warm, cold)
+	}
+
+	var resp EvaluateResponse
+	if err := json.Unmarshal(warm, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(resp.Bounds) != 3 || len(resp.Throughputs) != 3 {
+		t.Fatalf("%d bounds / %d throughputs, want 3 / 3", len(resp.Bounds), len(resp.Throughputs))
+	}
+	for i, b := range resp.Bounds {
+		if b[0] > b[1] {
+			t.Fatalf("trial %d: inverted bounds %v", i, b)
+		}
+		if resp.Throughputs[i] != b[0] {
+			t.Fatalf("trial %d: throughput %v is not the lower bound %v", i, resp.Throughputs[i], b[0])
+		}
+		if b[0] < 0 || b[1] > 1 {
+			t.Fatalf("trial %d: bounds %v outside [0,1]", i, b)
+		}
+	}
+
+	// All kinds are accepted and report the bounds column.
+	for _, kind := range []string{"spectral", "sampled-mcf"} {
+		body := mustPost(t, warmURL.URL+"/v1/evaluate",
+			`{"topology":{"design":{"switches":20,"ports":8,"networkDegree":5,"seed":4}},`+
+				`"seed":9,"trials":2,"estimator":{"kind":"`+kind+`","sample":8}}`)
+		if !bytes.Contains(body, []byte(`"bounds"`)) {
+			t.Fatalf("kind %s: response missing bounds: %s", kind, body)
+		}
+	}
+}
+
+// Non-estimator responses must not grow a bounds column — the estimator
+// plumbing may not perturb legacy response bytes.
+func TestEvaluateWithoutEstimatorOmitsBounds(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Workers: 1})
+	body := mustPost(t, ts.URL+"/v1/evaluate",
+		`{"topology":{"design":{"switches":20,"ports":8,"networkDegree":5,"seed":4}},"seed":9,"trials":2}`)
+	if bytes.Contains(body, []byte("bounds")) {
+		t.Fatalf("plain evaluation leaked the bounds column: %s", body)
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Workers: 1})
+	topo := `"topology":{"design":{"switches":5,"ports":4,"networkDegree":3,"seed":1}}`
+
+	code, body := doPost(t, ts.URL+"/v1/evaluate", `{`+topo+`,"estimator":{"kind":"oracle"}}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "oracle") {
+		t.Fatalf("unknown kind: code %d body %s", code, body)
+	}
+	code, body = doPost(t, ts.URL+"/v1/evaluate", `{`+topo+`,"estimator":{"kind":"sampled-mcf","sample":-1}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("negative sample: code %d body %s", code, body)
+	}
+	code, body = doPost(t, ts.URL+"/v1/evaluate",
+		`{`+topo+`,"estimator":{"kind":"bisection"},"transport":{"protocol":"tcp8"}}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "transport") {
+		t.Fatalf("estimator+transport: code %d body %s", code, body)
+	}
+	code, body = doPost(t, ts.URL+"/v1/capacity-search",
+		`{"switches":10,"ports":6,"seed":2,"estimator":{"kind":"oracle"}}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "oracle") {
+		t.Fatalf("capacity-search unknown kind: code %d body %s", code, body)
+	}
+}
+
+// Estimator-screened capacity search returns the same maxServers as the
+// exact-only search — screening is reject-only and answer-preserving.
+func TestCapacitySearchEstimatorIdentity(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Workers: 1})
+	plain := mustPost(t, ts.URL+"/v1/capacity-search",
+		`{"switches":20,"ports":8,"trials":2,"seed":7}`)
+	var base CapacitySearchResponse
+	if err := json.Unmarshal(plain, &base); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if base.MaxServers <= 0 {
+		t.Fatalf("exact-only search found %d servers", base.MaxServers)
+	}
+	for _, kind := range []string{"bisection", "spectral", "sampled-mcf"} {
+		body := mustPost(t, ts.URL+"/v1/capacity-search",
+			`{"switches":20,"ports":8,"trials":2,"seed":7,"estimator":{"kind":"`+kind+`","sample":16}}`)
+		var got CapacitySearchResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if got.MaxServers != base.MaxServers {
+			t.Fatalf("estimator %q: maxServers %d != exact-only %d", kind, got.MaxServers, base.MaxServers)
+		}
+	}
+}

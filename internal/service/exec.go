@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"jellyfish"
+	"jellyfish/internal/estimate"
 	"jellyfish/internal/flowsim"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/rng"
@@ -64,6 +65,21 @@ func planDesign(spec *DesignSpec) (*plan, *apiError) {
 	}, nil
 }
 
+// validate checks an estimator spec (nil is valid: it selects the exact
+// solver path).
+func (es *EstimatorSpec) validate() *apiError {
+	if es == nil {
+		return nil
+	}
+	if es.Sample < 0 {
+		return badRequest("invalid_config", "estimator sample %d cannot be negative (0 selects the default)", es.Sample)
+	}
+	if _, err := estimate.New(es.Kind, es.Sample, 0); err != nil {
+		return badRequest("invalid_config", "estimator kind %q not one of %v", es.Kind, estimate.Kinds())
+	}
+	return nil
+}
+
 // validate normalizes and checks a transport spec (nil is valid: it
 // selects the optimal-routing solver).
 func (ts *TransportSpec) validate() *apiError {
@@ -114,6 +130,7 @@ type simAsset struct {
 	top      *topology.Topology
 	compiled *routing.Compiled
 	sim      *flowsim.Sim
+	srv      []int // server→switch scratch reused across trials
 }
 
 // transportAsset fetches or creates the family's compiled instance.
@@ -146,9 +163,12 @@ func transportAsset(w *worker, mat materialized, needTopology bool) *simAsset {
 // from the seed exactly like the experiment harness's simMean ("traffic",
 // "routes", and — for the hashed-subflow protocols only — "sim";
 // mptcp8 consumes no randomness, per flowsim's stream contract).
-func transportThroughput(sim *flowsim.Sim, compiled *routing.Compiled, top *topology.Topology, spec *TransportSpec, seed uint64) float64 {
+// The srv buffer holds the server→switch map between trials; the pattern
+// built from it is dead before the next trial overwrites it.
+func transportThroughput(sim *flowsim.Sim, compiled *routing.Compiled, top *topology.Topology, spec *TransportSpec, seed uint64, srv *[]int) float64 {
 	src := rng.New(seed).Split("transport")
-	pat := traffic.RandomPermutation(top.ServerSwitches(), src.Split("traffic"))
+	*srv = top.ServerSwitchesInto(*srv)
+	pat := traffic.RandomPermutation(*srv, src.Split("traffic"))
 	pairs := routing.PairsForPattern(pat)
 	var table *routing.Table
 	switch spec.Routing {
@@ -172,6 +192,12 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 	}
 	if aerr := req.Transport.validate(); aerr != nil {
 		return nil, aerr
+	}
+	if aerr := req.Estimator.validate(); aerr != nil {
+		return nil, aerr
+	}
+	if req.Transport != nil && req.Estimator != nil {
+		return nil, badRequest("invalid_config", "transport and estimator are mutually exclusive: a transport simulation measures a realizable data plane, an estimator brackets the optimal-routing answer")
 	}
 	mat, aerr := req.Topology.materialize()
 	if aerr != nil {
@@ -199,9 +225,20 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 					return nil, err
 				}
 				var lam float64
-				if asset != nil {
-					lam = transportThroughput(asset.sim, asset.compiled, asset.top, req.Transport, req.Seed+uint64(i))
-				} else {
+				switch {
+				case asset != nil:
+					lam = transportThroughput(asset.sim, asset.compiled, asset.top, req.Transport, req.Seed+uint64(i), &asset.srv)
+				case req.Estimator != nil:
+					// Certified bracket around the exact trial answer; the
+					// conservative (lower) side stands in as the trial's
+					// throughput so aggregate Min/Mean never overpromise.
+					lo, hi, err := jellyfish.EstimateThroughput(top, req.Estimator.Kind, req.Estimator.Sample, req.Seed+uint64(i))
+					if err != nil {
+						return nil, err // unreachable: kind validated at plan time
+					}
+					resp.Bounds = append(resp.Bounds, [2]float64{lo, hi})
+					lam = lo
+				default:
 					lam = jellyfish.OptimalThroughput(top, req.Seed+uint64(i), w.solverWorkers)
 				}
 				resp.Throughputs = append(resp.Throughputs, lam)
@@ -226,6 +263,13 @@ func planCapacitySearch(req *CapacitySearchRequest) (*plan, *apiError) {
 	cs := jellyfish.CapacitySearch{
 		Switches: req.Switches, Ports: req.Ports, Trials: req.Trials,
 		Slack: req.Slack, Seed: req.Seed, ColdStart: req.ColdStart,
+	}
+	if req.Estimator != nil {
+		if aerr := req.Estimator.validate(); aerr != nil {
+			return nil, aerr
+		}
+		cs.Estimator = req.Estimator.Kind
+		cs.EstimatorSample = req.Estimator.Sample
 	}
 	if err := cs.Validate(); err != nil {
 		return nil, badRequest("invalid_config", "%v", err)
@@ -347,6 +391,7 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 			// the graph, and a routing.Compiled is bound to one graph.
 			ev := jellyfish.NewWhatIfEvaluator(w.solverWorkers)
 			var simScratch *flowsim.Sim
+			var srvBuf []int
 			if req.Transport != nil {
 				simScratch = transportAsset(w, mat, false).sim
 			}
@@ -357,7 +402,7 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 					Links: top.NumLinks(), Throughput: lam,
 				}
 				if req.Transport != nil {
-					tp := transportThroughput(simScratch, routing.NewCompiled(top.Graph), top, req.Transport, req.Seed)
+					tp := transportThroughput(simScratch, routing.NewCompiled(top.Graph), top, req.Transport, req.Seed, &srvBuf)
 					st.TransportThroughput = &tp
 				}
 				return st

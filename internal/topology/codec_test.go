@@ -32,6 +32,49 @@ func TestBlueprintRoundTrip(t *testing.T) {
 	}
 }
 
+// The megascale codec bar: a 10k-switch blueprint survives a full
+// write/read/validate/diff cycle. Gated out of -short; CI runs it in the
+// scale-smoke job.
+func TestBlueprintRoundTrip10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k round-trip skipped in -short")
+	}
+	src := rng.New(21)
+	orig := Jellyfish(10000, 12, 9, src)
+	var buf bytes.Buffer
+	if err := orig.WriteBlueprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("10k-switch blueprint: %d bytes", buf.Len())
+	got, err := ReadBlueprint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSwitches() != orig.NumSwitches() || got.NumServers() != orig.NumServers() ||
+		got.NumLinks() != orig.NumLinks() {
+		t.Fatalf("dims differ: %s vs %s", got, orig)
+	}
+	eo, eg := orig.Graph.Edges(), got.Graph.Edges()
+	for i := range eo {
+		if eo[i] != eg[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, eo[i], eg[i])
+		}
+	}
+	// The decoded copy is diff-identical to the original, and a one-switch
+	// expansion of it yields a bounded rewiring plan, as at small scale.
+	if moves := PlanRewiring(orig, got).Moves(); moves != 0 {
+		t.Fatalf("round-trip diff has %d moves", moves)
+	}
+	after := got.Clone()
+	ExpandJellyfish(after, 1, 12, 9, src.Split("grow"))
+	if plan := PlanRewiring(got, after); len(plan.Add) > 9 || len(plan.Remove) > 4 {
+		t.Fatalf("10k expansion plan out of bounds: %d added, %d removed", len(plan.Add), len(plan.Remove))
+	}
+}
+
 func TestReadBlueprintRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"not json":       "{",

@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"slices"
+	"testing"
+
+	"jellyfish/internal/rng"
+)
+
+func TestCompactRunsRoundTrip(t *testing.T) {
+	top := JellyfishHeterogeneous(
+		[]int{24, 24, 24, 48, 48, 64, 64, 64, 64, 24},
+		[]int{8, 8, 8, 16, 16, 0, 0, 0, 0, 8},
+		rng.New(3),
+	)
+	c := top.Compact()
+
+	expand := func(runs []Run) []int {
+		var out []int
+		for _, r := range runs {
+			for i := int32(0); i < r.Count; i++ {
+				out = append(out, int(r.Value))
+			}
+		}
+		return out
+	}
+	if got := expand(c.Servers); !slices.Equal(got, top.Servers) {
+		t.Errorf("Servers runs expand to %v, want %v", got, top.Servers)
+	}
+	if got := expand(c.Ports); !slices.Equal(got, top.Ports) {
+		t.Errorf("Ports runs expand to %v, want %v", got, top.Ports)
+	}
+	// Runs must be maximal: no two adjacent runs share a value.
+	for _, runs := range [][]Run{c.Servers, c.Ports} {
+		for i := 1; i < len(runs); i++ {
+			if runs[i].Value == runs[i-1].Value {
+				t.Errorf("adjacent runs %d and %d share value %d", i-1, i, runs[i].Value)
+			}
+		}
+	}
+}
+
+func TestCompactCounters(t *testing.T) {
+	top := Jellyfish(30, 8, 5, rng.New(9))
+	c := top.Compact()
+	if c.NumSwitches() != top.NumSwitches() {
+		t.Errorf("NumSwitches %d, want %d", c.NumSwitches(), top.NumSwitches())
+	}
+	if c.NumServers() != top.NumServers() {
+		t.Errorf("NumServers %d, want %d", c.NumServers(), top.NumServers())
+	}
+	if c.NumLinks() != top.Graph.M() {
+		t.Errorf("NumLinks %d, want %d", c.NumLinks(), top.Graph.M())
+	}
+	for sw := 0; sw < top.NumSwitches(); sw++ {
+		if got := c.ServersAt(sw); got != top.Servers[sw] {
+			t.Errorf("ServersAt(%d) = %d, want %d", sw, got, top.Servers[sw])
+		}
+	}
+	if got := c.ServersAt(top.NumSwitches() + 5); got != 0 {
+		t.Errorf("ServersAt past end = %d, want 0", got)
+	}
+}
+
+func TestCompactAppendServerSwitches(t *testing.T) {
+	top := Jellyfish(25, 10, 6, rng.New(4))
+	c := top.Compact()
+	want := top.ServerSwitches()
+	if got := c.AppendServerSwitches(nil); !slices.Equal(got, want) {
+		t.Errorf("AppendServerSwitches(nil) = %v, want %v", got, want)
+	}
+	// Appends after existing content without clobbering it.
+	buf := []int{-1, -2}
+	got := c.AppendServerSwitches(buf)
+	if got[0] != -1 || got[1] != -2 || !slices.Equal(got[2:], want) {
+		t.Errorf("AppendServerSwitches(buf) clobbered prefix or diverged")
+	}
+}
+
+func TestCompactIsSnapshot(t *testing.T) {
+	top := Jellyfish(20, 8, 5, rng.New(7))
+	c := top.Compact()
+	n, m := c.NumSwitches(), c.NumLinks()
+	servers0 := c.AppendServerSwitches(nil)
+
+	// Mutate the source topology: the snapshot must not move.
+	top.Servers[0] += 3
+	var u, v int
+	for u = 0; u < top.NumSwitches() && v == 0; u++ {
+		for w := u + 1; w < top.NumSwitches(); w++ {
+			if !top.Graph.HasEdge(u, w) {
+				v = w
+				break
+			}
+		}
+	}
+	top.Graph.AddEdge(u-1, v)
+	if c.NumSwitches() != n || c.NumLinks() != m {
+		t.Errorf("snapshot dims moved to (%d, %d) after mutation", c.NumSwitches(), c.NumLinks())
+	}
+	if got := c.AppendServerSwitches(nil); !slices.Equal(got, servers0) {
+		t.Errorf("snapshot server map moved after mutation")
+	}
+}

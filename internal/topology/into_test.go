@@ -1,0 +1,56 @@
+package topology
+
+import (
+	"slices"
+	"testing"
+
+	"jellyfish/internal/rng"
+)
+
+// The Into variants must be result-identical to their allocating forms
+// and allocation-free once the scratch has grown to the working size.
+func TestServerSwitchesIntoMatchesAndReuses(t *testing.T) {
+	tops := []*Topology{
+		Jellyfish(20, 8, 5, rng.New(1)),
+		Jellyfish(25, 10, 6, rng.New(2)),
+		Jellyfish(15, 8, 5, rng.New(3)),
+	}
+	var buf []int
+	for _, top := range tops {
+		buf = top.ServerSwitchesInto(buf)
+		if want := top.ServerSwitches(); !slices.Equal(buf, want) {
+			t.Errorf("%s: Into %v != plain %v", top.Name, buf, want)
+		}
+	}
+	top := tops[0]
+	allocs := testing.AllocsPerRun(20, func() {
+		buf = top.ServerSwitchesInto(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("warm ServerSwitchesInto allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSwitchPathStatsIntoMatchesAndReuses(t *testing.T) {
+	tops := []*Topology{
+		Jellyfish(20, 8, 5, rng.New(1)),
+		Jellyfish(25, 10, 6, rng.New(2)),
+	}
+	var sc PathScratch
+	for _, top := range tops {
+		got := top.SwitchPathStatsInto(&sc)
+		want := top.SwitchPathStats()
+		if got.Mean != want.Mean || got.Diameter != want.Diameter ||
+			got.Pairs != want.Pairs || got.Connected != want.Connected ||
+			!slices.Equal(got.Hist, want.Hist) {
+			t.Errorf("%s: Into %+v != plain %+v", top.Name, got, want)
+		}
+	}
+	top := tops[0]
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = top.SwitchPathStatsInto(&sc)
+	})
+	if allocs != 0 {
+		t.Errorf("warm SwitchPathStatsInto allocates %v per run, want 0", allocs)
+	}
+}

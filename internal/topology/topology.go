@@ -94,26 +94,54 @@ func (t *Topology) Clone() *Topology {
 // switch it attaches to, in switch order. This is the canonical server ID
 // assignment used by the traffic generators.
 func (t *Topology) ServerSwitches() []int {
-	out := make([]int, 0, t.NumServers())
+	return t.ServerSwitchesInto(make([]int, 0, t.NumServers()))
+}
+
+// ServerSwitchesInto is ServerSwitches with a caller-owned buffer: the
+// result is written into buf's storage (grown as needed) so warm-chain
+// sweeps that evaluate many same-sized topologies allocate nothing after
+// the first call. The returned slice aliases buf.
+func (t *Topology) ServerSwitchesInto(buf []int) []int {
+	buf = buf[:0]
 	for sw, count := range t.Servers {
 		for j := 0; j < count; j++ {
-			out = append(out, sw)
+			buf = append(buf, sw)
 		}
 	}
-	return out
+	return buf
 }
 
 // SwitchPathStats computes shortest-path statistics between switches that
 // have at least one server attached (the paper's inter-switch path length
 // metric counts ToR-to-ToR hops).
 func (t *Topology) SwitchPathStats() graph.PathStats {
-	var withServers []int
+	var sc PathScratch
+	return t.SwitchPathStatsInto(&sc)
+}
+
+// PathScratch holds the reusable working buffers of SwitchPathStatsInto.
+// The zero value is ready to use. Not safe for concurrent use.
+type PathScratch struct {
+	subset []int
+	pairs  graph.PairsScratch
+}
+
+// SwitchPathStatsInto is SwitchPathStats with caller-owned scratch, for
+// sweeps that score many same-sized topologies in a loop. The returned
+// PathStats.Hist aliases the scratch and is valid only until the next
+// call with the same scratch — copy it to retain.
+func (t *Topology) SwitchPathStatsInto(sc *PathScratch) graph.PathStats {
+	sc.subset = sc.subset[:0]
 	for sw, count := range t.Servers {
 		if count > 0 {
-			withServers = append(withServers, sw)
+			sc.subset = append(sc.subset, sw)
 		}
 	}
-	return t.Graph.PairsStats(withServers)
+	subset := sc.subset
+	if len(subset) == 0 {
+		subset = nil // serverless topology: all-pairs, as PairsStats(nil)
+	}
+	return t.Graph.PairsStatsInto(subset, &sc.pairs)
 }
 
 // String summarizes the topology.

@@ -90,6 +90,7 @@ import (
 	"fmt"
 
 	"jellyfish/internal/capsearch"
+	"jellyfish/internal/estimate"
 	"jellyfish/internal/graph"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/metrics"
@@ -217,6 +218,29 @@ func OptimalThroughput(t *Topology, seed uint64, workers ...int) float64 {
 	return metrics.Clamp01(res.Lambda)
 }
 
+// EstimateThroughput brackets OptimalThroughput's answer with a bounded
+// approximate estimator instead of the exact flow solver, for instances
+// far beyond the exact solver's practical scale. It derives the same
+// random-permutation traffic as OptimalThroughput(t, seed), runs the
+// selected estimator ("bisection", "spectral", or "sampled-mcf" with the
+// given subsample size; 0 selects the default), and returns certified
+// normalized-throughput bounds with
+//
+//	lower ≤ OptimalThroughput(t, seed) ≤ upper
+//
+// after the same cap-at-1 normalization (capping preserves both sides).
+// Deterministic in (topology, estimator, sample, seed).
+func EstimateThroughput(t *Topology, estimator string, sample int, seed uint64) (lower, upper float64, err error) {
+	est, err := estimate.New(estimator, sample, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	src := rng.New(seed)
+	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
+	b := est.Estimate(t.Compact(), pat.Commodities())
+	return metrics.Clamp01(b.Lower), metrics.Clamp01(b.Upper), nil
+}
+
 // SupportsFullThroughput reports whether the topology can serve trials
 // independent random-permutation matrices at full NIC rate for every
 // server — the paper's "full capacity" test. slack absorbs the
@@ -280,6 +304,16 @@ type CapacitySearch struct {
 	// probe from scratch on the same instances and random streams — the
 	// A/B switch used by the regression benchmarks and tests.
 	ColdStart bool
+	// Estimator, when non-empty, screens probe trials with a bounded
+	// approximate estimator ("bisection", "spectral", or "sampled-mcf")
+	// before the exact solver runs: trials whose certified Upper bound
+	// already falls below the feasibility target are rejected without
+	// solving. Rejection-only screening keeps answers identical to the
+	// exact-only search; the final bracket is always confirmed exactly.
+	Estimator string
+	// EstimatorSample is the sampled-mcf commodity subsample size
+	// (0 selects the default; ignored by the other estimator kinds).
+	EstimatorSample int
 }
 
 // Validate checks the search configuration, returning a typed
@@ -298,6 +332,13 @@ func (c CapacitySearch) Validate() error {
 		return &InvalidConfigError{Op: "CapacitySearch", Field: "Slack", Value: c.Slack, Reason: "slack must lie in [0, 1) (0 selects the default)"}
 	case c.Workers < 0:
 		return &InvalidConfigError{Op: "CapacitySearch", Field: "Workers", Value: c.Workers, Reason: "worker count cannot be negative (0 means all cores)"}
+	case c.EstimatorSample < 0:
+		return &InvalidConfigError{Op: "CapacitySearch", Field: "EstimatorSample", Value: c.EstimatorSample, Reason: "sample size cannot be negative (0 selects the default)"}
+	}
+	if c.Estimator != "" {
+		if _, err := estimate.New(c.Estimator, c.EstimatorSample, c.Seed); err != nil {
+			return &InvalidConfigError{Op: "CapacitySearch", Field: "Estimator", Value: c.Estimator, Reason: fmt.Sprintf("unknown estimator kind (have %v)", estimate.Kinds())}
+		}
 	}
 	return nil
 }
@@ -355,6 +396,10 @@ func (c CapacitySearch) RunOnFamily(fam *SearchFamily, interrupt func() bool) (i
 	if fam == nil {
 		fam, _ = c.NewFamily() // c already validated
 	}
+	var est estimate.ThroughputEstimator
+	if c.Estimator != "" {
+		est, _ = estimate.New(c.Estimator, c.EstimatorSample, c.Seed) // kind validated above
+	}
 	return capsearch.MaxServers(capsearch.Config{
 		Lo:        c.Switches,
 		Hi:        c.Switches * (c.Ports - 1),
@@ -364,6 +409,7 @@ func (c CapacitySearch) RunOnFamily(fam *SearchFamily, interrupt func() bool) (i
 		Slack:     c.Slack,
 		Workers:   c.Workers,
 		Cold:      c.ColdStart,
+		Estimator: est,
 		Interrupt: interrupt,
 	})
 }

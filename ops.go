@@ -94,6 +94,7 @@ func CriticalLinks(t *Topology) []Edge { return t.Graph.Bridges() }
 type WhatIfEvaluator struct {
 	sv   *mcf.Solver
 	st   *mcf.State
+	srv  []int // server→switch scratch; the busy guard serializes access
 	busy atomic.Bool
 }
 
@@ -113,7 +114,8 @@ func NewWhatIfEvaluator(workers int) *WhatIfEvaluator {
 func (e *WhatIfEvaluator) OptimalThroughput(t *Topology, seed uint64) float64 {
 	e.acquire("OptimalThroughput")
 	defer e.busy.Store(false)
-	pat := traffic.RandomPermutation(t.ServerSwitches(), rng.New(seed).Split("traffic"))
+	e.srv = t.ServerSwitchesInto(e.srv)
+	pat := traffic.RandomPermutation(e.srv, rng.New(seed).Split("traffic"))
 	var res mcf.Result
 	res, e.st = e.sv.Solve(t.Graph, pat.Commodities(), e.st)
 	return metrics.Clamp01(res.Lambda)
