@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128] [-max-sync 32]
+//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128] [-max-sync 32] [-state-dir DIR]
 //
 // Endpoints (all request/response bodies are JSON):
 //
@@ -18,12 +18,23 @@
 //	POST /v1/rewire-plan           cable moves turning one topology into another
 //	POST /v1/jobs                  submit any of the above asynchronously
 //	GET  /v1/jobs                  list jobs
-//	GET  /v1/jobs/{id}             job status + result
+//	GET  /v1/jobs/{id}             job status + result envelope
+//	GET  /v1/jobs/{id}/events      stream progress as SSE, then a done frame
+//	GET  /v1/jobs/{id}/result      succeeded job's raw result document
 //	POST /v1/jobs/{id}/cancel      cancel a queued or running job
 //
+// With -state-dir the job store survives the process: submissions are
+// journaled before they are acknowledged, and on the next boot finished
+// jobs are fetchable again while interrupted ones re-run automatically.
+// On SIGTERM/SIGINT the daemon drains: it stops admitting work, lets
+// in-flight jobs finish (up to the shutdown timeout), snapshots, and
+// exits; a SIGKILL instead costs only the jobs' progress, never their
+// submissions (DESIGN.md §14).
+//
 // Responses are deterministic: the same request body yields byte-identical
-// response bytes regardless of -workers, cache state, or request
-// interleaving. See examples/operations for a scripted session.
+// response bytes regardless of -workers, cache state, restarts, or request
+// interleaving — and the same holds for every /events payload frame. See
+// examples/operations for a scripted session.
 package main
 
 import (
@@ -46,14 +57,19 @@ func main() {
 	solverWorkers := flag.Int("solver-workers", 1, "CPU parallelism per flow solve; 0 = all cores when -workers is 1, otherwise 1 (many shard workers each running all-core solves would oversubscribe the machine — cross-request parallelism comes from -workers)")
 	cacheEntries := flag.Int("cache", 128, "warm-state cache entries per worker")
 	maxSync := flag.Int("max-sync", 0, "admitted concurrent synchronous requests before shedding load with 429 + Retry-After (0 = 8×workers, negative = unlimited; the job API is never gated)")
+	stateDir := flag.String("state-dir", "", "directory for the durable job store (empty = memory-only); replayed on boot so jobs survive restarts")
 	flag.Parse()
 
-	srv := service.New(service.Options{
+	srv, err := service.New(service.Options{
 		Workers:         *workers,
 		SolverWorkers:   *solverWorkers,
 		CacheEntries:    *cacheEntries,
 		MaxSyncInflight: *maxSync,
+		StateDir:        *stateDir,
 	})
+	if err != nil {
+		log.Fatalf("jellyfishd: %v", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -80,5 +96,8 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	srv.Close()
+	// Graceful drain: finish (and journal) in-flight jobs within the
+	// timeout; past it they are interrupted un-journaled, so a durable
+	// store re-runs them on the next boot.
+	srv.Drain(ctx)
 }

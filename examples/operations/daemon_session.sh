@@ -14,11 +14,17 @@ set -eu
 
 ADDR=127.0.0.1:8093
 BASE="http://$ADDR"
+STATE=$(mktemp -d)
 
 go build -o /tmp/jellyfishd ./cmd/jellyfishd
-/tmp/jellyfishd -addr "$ADDR" -workers 4 &
+# -state-dir makes the job store durable: submissions are journaled
+# before they are acknowledged, so jobs survive daemon restarts — even
+# kill -9 — as demonstrated at the end of this session (DESIGN.md §14).
+/tmp/jellyfishd -addr "$ADDR" -workers 4 -state-dir "$STATE" &
 DAEMON=$!
-trap 'kill $DAEMON 2>/dev/null' EXIT INT TERM
+# On exit: SIGTERM the daemon (it drains — finishes jobs, snapshots,
+# closes the store), wait for it, then remove the session's state dir.
+trap 'kill $DAEMON 2>/dev/null; wait $DAEMON 2>/dev/null; rm -rf "$STATE"' EXIT INT TERM
 
 # Wait for the daemon to come up.
 for i in $(seq 1 50); do
@@ -89,6 +95,45 @@ echo
 echo "== same search, sync (cache hit)"
 curl -fsS "$BASE/v1/capacity-search" -d '{"switches":20,"ports":6,"trials":1,"seed":7}'
 echo
+
+# Stream the finished job's progress as SSE: one "progress" frame per
+# search probe, then a terminal "done" frame. Connecting mid-run tails
+# the same frames live — the stream bytes are part of the determinism
+# guarantee, so live tail and post-hoc replay are identical.
+echo "== job $ID progress stream (SSE replay)"
+curl -fsS "$BASE/v1/jobs/$ID/events" | head -c 400; echo " ..."
+
+# Kill/restart walkthrough: SIGKILL the daemon mid-job and restart it on
+# the same state dir. The submitted job was journaled before the 202, so
+# the restarted daemon re-runs it automatically; determinism makes the
+# recovered result byte-identical to what the uninterrupted run would
+# have produced.
+echo "== submit a longer search, then kill -9 the daemon"
+JOB2=$(curl -fsS "$BASE/v1/jobs" \
+	-d '{"type":"capacity-search","request":{"switches":45,"ports":6,"trials":2,"seed":7}}')
+ID2=$(echo "$JOB2" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+kill -9 "$DAEMON" 2>/dev/null
+wait "$DAEMON" 2>/dev/null || true
+
+echo "== restart on the same -state-dir; job $ID2 resumes"
+/tmp/jellyfishd -addr "$ADDR" -workers 2 -state-dir "$STATE" &
+DAEMON=$!
+for i in $(seq 1 50); do
+	curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+while :; do
+	VIEW=$(curl -fsS "$BASE/v1/jobs/$ID2")
+	case "$VIEW" in
+	*'"status":"succeeded"'* | *'"status":"failed"'* | *'"status":"cancelled"'*) break ;;
+	esac
+	sleep 0.2
+done
+echo "== job $ID2 finished after crash recovery"
+curl -fsS "$BASE/v1/jobs/$ID2/result"; echo
+# ...and the job finished before the kill is still fetchable:
+echo "== job $ID survived the restart too"
+curl -fsS "$BASE/v1/jobs/$ID" | head -c 200; echo " ..."
 
 echo "== scheduler stats"
 curl -fsS "$BASE/v1/stats"; echo

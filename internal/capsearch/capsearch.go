@@ -190,6 +190,13 @@ type Config struct {
 	// never torn down mid-phase, so a fired interrupt costs at most one
 	// trial solve of latency and leaves all warm state coherent.
 	Interrupt func() bool
+	// Probe, when non-nil, observes each completed feasibility probe in
+	// execution order — the streaming-progress hook for service jobs.
+	// The probe sequence is a deterministic function of the instance
+	// (see MaxServers), so observers see identical (servers, feasible)
+	// streams for identical searches. Probe must not mutate search
+	// state; an interrupted probe is not observed.
+	Probe func(servers int, feasible bool)
 }
 
 // MaxServers searches for the largest feasible server count in [Lo, Hi].
@@ -288,10 +295,18 @@ func (p *prober) feasible(servers int) (bool, error) {
 			return false, ErrInterrupted
 		}
 		if !p.trial(i, top, assign) {
+			p.observe(servers, false)
 			return false, nil
 		}
 	}
+	p.observe(servers, true)
 	return true, nil
+}
+
+func (p *prober) observe(servers int, feasible bool) {
+	if p.cfg.Probe != nil {
+		p.cfg.Probe(servers, feasible)
+	}
 }
 
 // predictGapMax bounds how loose a probe's certificates may be for its λ

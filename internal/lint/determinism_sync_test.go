@@ -25,6 +25,7 @@ var undeclaredDeterminismDeps = map[string]string{
 	"jellyfish/internal/placement": "construction-time only; candidate for declaration once its miswiring paths grow",
 	"jellyfish/internal/expansion": "construction-time only; candidate for declaration once rewiring runs on response paths",
 	"jellyfish/internal/bisection": "exact solver on tiny graphs; output is a single scalar bound",
+	"jellyfish/internal/persist":   "storage I/O, not computation: journal/blob round-tripping is byte-exact by its own tests, and nothing it stores enters a response digest uncomputed",
 	"jellyfish/internal/maxflow":   "exact solver backing bisection; same scalar-output argument",
 	"jellyfish/internal/metrics":   "pure aggregation over already-deterministic inputs",
 }

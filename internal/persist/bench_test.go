@@ -1,0 +1,66 @@
+package persist
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// The persistence benchmarks gate the job store's hot path in CI
+// (BENCH_mcf.json ci_budget): Append is on every job submit and
+// completion, Replay on every daemon boot. Budgets keep persistence
+// from silently growing into a per-request cost — an Append is one
+// framed write with reused scratch, and replaying a daemon's worth of
+// records stays well under boot-time noise.
+
+// benchRecord is a representative job envelope (submit record with an
+// inline request document).
+var benchRecord = []byte(`{"kind":"submit","id":"j000042","seq":42,"type":"capacity-search",` +
+	`"request":{"switches":125,"ports":8,"trials":3,"seed":97},"created":"2026-08-08T12:00:00.000000001Z"}`)
+
+func BenchmarkJobStoreAppend(b *testing.B) {
+	l, _, err := OpenLog(filepath.Join(b.TempDir(), "journal.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(benchRecord); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJobStoreReplay(b *testing.B) {
+	// A log of 1024 envelopes — a full job store's worth (maxJobs) of
+	// submit records, the worst realistic boot.
+	path := filepath.Join(b.TempDir(), "journal.log")
+	l, _, err := OpenLog(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 1024
+	for i := 0; i < records; i++ {
+		rec := []byte(fmt.Sprintf(`{"kind":"submit","id":"j%06d","seq":%d,"type":"evaluate",`+
+			`"request":{"topology":{"design":{"switches":20,"ports":8,"networkDegree":5,"seed":1}},"seed":%d}}`, i+1, i+1, i))
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := ReplayLog(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != records {
+			b.Fatalf("replayed %d records, want %d", len(recs), records)
+		}
+	}
+}

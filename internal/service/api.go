@@ -376,6 +376,40 @@ type RewireResponse struct {
 	Moves  int      `json:"moves"`
 }
 
+// Streaming progress events (GET /v1/jobs/{id}/events, served as
+// Server-Sent Events): each executor emits typed payloads at its
+// natural progress boundaries — capacity searches per feasibility
+// probe, evaluations per trial, what-if chains per step. Event
+// PAYLOADS are covered by the determinism guarantee: the same request
+// yields the identical payload sequence regardless of worker count,
+// cache state (cache hits replay the recorded stream), or whether the
+// subscriber watched live or connected after completion. Job envelope
+// metadata (ids, timestamps) never appears in the stream for exactly
+// that reason.
+
+// A ProbeEvent reports one capacity-search feasibility probe.
+type ProbeEvent struct {
+	Op       string `json:"op"` // "probe"
+	Servers  int    `json:"servers"`
+	Feasible bool   `json:"feasible"`
+}
+
+// A TrialEvent reports one completed evaluation trial.
+type TrialEvent struct {
+	Op         string  `json:"op"` // "trial"
+	Trial      int     `json:"trial"`
+	Throughput float64 `json:"throughput"`
+	// Bounds carries the certified bracket for estimator trials (absent
+	// otherwise).
+	Bounds *[2]float64 `json:"bounds,omitempty"`
+}
+
+// A StepEvent reports one evaluated what-if chain step.
+type StepEvent struct {
+	Op   string     `json:"op"` // "step"
+	Step WhatIfStep `json:"step"`
+}
+
 // StatsResponse reports scheduler and cache counters (diagnostics; not
 // covered by the determinism guarantee).
 type StatsResponse struct {

@@ -35,14 +35,14 @@ func runCapacityRequest(b *testing.B, srv *Server, req CapacitySearchRequest) {
 	if aerr != nil {
 		b.Fatal(aerr)
 	}
-	if _, err := srv.sched.do(context.Background(), p, true, nil); err != nil {
+	if _, err := srv.sched.do(context.Background(), p, true, nil, nil); err != nil {
 		b.Fatal(err)
 	}
 }
 
 func BenchmarkServiceCapacitySearchWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		srv := New(Options{Workers: 1})
+		srv := mustNew(b, Options{Workers: 1})
 		for _, req := range capacityWorkload {
 			runCapacityRequest(b, srv, req)
 		}
@@ -53,7 +53,7 @@ func BenchmarkServiceCapacitySearchWarm(b *testing.B) {
 func BenchmarkServiceCapacitySearchCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, req := range capacityWorkload {
-			srv := New(Options{Workers: 1})
+			srv := mustNew(b, Options{Workers: 1})
 			runCapacityRequest(b, srv, req)
 			srv.Close()
 		}

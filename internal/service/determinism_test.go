@@ -37,7 +37,7 @@ var planningSequence = []struct{ path, body string }{
 // given worker count and returns the response bodies.
 func replay(t *testing.T, workers int) [][]byte {
 	t.Helper()
-	srv := New(Options{Workers: workers})
+	srv := mustNew(t, Options{Workers: workers})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -64,7 +64,7 @@ func TestResponsesInvariantAcrossWorkerCounts(t *testing.T) {
 // Re-sending every request against the same server returns the original
 // bytes from the response cache.
 func TestRepeatedRequestsHitResponseCache(t *testing.T) {
-	srv := New(Options{Workers: 2})
+	srv := mustNew(t, Options{Workers: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -90,7 +90,7 @@ func TestWhatIfWarmPrefixMatchesCold(t *testing.T) {
 	prefix := `{"base":{"design":{"switches":24,"ports":8,"networkDegree":5,"seed":43}},"seed":47,"scenarios":[{"failLinks":{"fraction":0.08,"seed":2}}]}`
 	full := `{"base":{"design":{"switches":24,"ports":8,"networkDegree":5,"seed":43}},"seed":47,"scenarios":[{"failLinks":{"fraction":0.08,"seed":2}},{"failSwitches":{"fraction":0.05,"seed":3}}]}`
 
-	warmSrv := New(Options{Workers: 2})
+	warmSrv := mustNew(t, Options{Workers: 2})
 	defer warmSrv.Close()
 	warmTS := httptest.NewServer(warmSrv.Handler())
 	defer warmTS.Close()
@@ -100,7 +100,7 @@ func TestWhatIfWarmPrefixMatchesCold(t *testing.T) {
 		t.Fatalf("chain hits = %d; the second request did not resume from the prefix checkpoint", hits)
 	}
 
-	coldSrv := New(Options{Workers: 2})
+	coldSrv := mustNew(t, Options{Workers: 2})
 	defer coldSrv.Close()
 	coldTS := httptest.NewServer(coldSrv.Handler())
 	defer coldTS.Close()
@@ -118,7 +118,7 @@ func TestCapacitySearchFamilyReuseMatchesCold(t *testing.T) {
 	first := `{"switches":12,"ports":4,"trials":1,"seed":53}`
 	second := `{"switches":12,"ports":4,"trials":2,"seed":53}`
 
-	warmSrv := New(Options{Workers: 2})
+	warmSrv := mustNew(t, Options{Workers: 2})
 	defer warmSrv.Close()
 	warmTS := httptest.NewServer(warmSrv.Handler())
 	defer warmTS.Close()
@@ -128,7 +128,7 @@ func TestCapacitySearchFamilyReuseMatchesCold(t *testing.T) {
 		t.Fatalf("family hits = %d; the second search did not reuse the cached family", hits)
 	}
 
-	coldSrv := New(Options{Workers: 2})
+	coldSrv := mustNew(t, Options{Workers: 2})
 	defer coldSrv.Close()
 	coldTS := httptest.NewServer(coldSrv.Handler())
 	defer coldTS.Close()

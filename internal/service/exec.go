@@ -35,6 +35,21 @@ import (
 //     simulator's and compiled router's contracts, so this tier — like
 //     the others — changes wall-clock, never a response.
 
+// emitKey carries the progress sink through an execution's context; the
+// scheduler installs it (runGuarded) so executors stay ignorant of who —
+// if anyone — is listening.
+type emitKey struct{}
+
+// emit publishes one progress payload from inside an executor. Payloads
+// are canonical JSON of deterministic values only — they are cached with
+// the response and replayed on hits, so anything nondeterministic here
+// would break the stream's byte-identity guarantee.
+func emit(ctx context.Context, v any) {
+	if sink, ok := ctx.Value(emitKey{}).(func([]byte)); ok {
+		sink(mustJSON(v))
+	}
+}
+
 func planDesign(spec *DesignSpec) (*plan, *apiError) {
 	ts := TopologySpec{Design: spec}
 	// Validate eagerly so bad requests fail before scheduling.
@@ -225,6 +240,7 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 					return nil, err
 				}
 				var lam float64
+				var bounds *[2]float64
 				switch {
 				case asset != nil:
 					lam = transportThroughput(asset.sim, asset.compiled, asset.top, req.Transport, req.Seed+uint64(i), &asset.srv)
@@ -237,12 +253,14 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 						return nil, err // unreachable: kind validated at plan time
 					}
 					resp.Bounds = append(resp.Bounds, [2]float64{lo, hi})
+					bounds = &resp.Bounds[len(resp.Bounds)-1]
 					lam = lo
 				default:
 					lam = jellyfish.OptimalThroughput(top, req.Seed+uint64(i), w.solverWorkers)
 				}
 				resp.Throughputs = append(resp.Throughputs, lam)
 				sum += lam
+				emit(ctx, &TrialEvent{Op: "trial", Trial: i, Throughput: lam, Bounds: bounds})
 			}
 			resp.Min = slices.Min(resp.Throughputs)
 			resp.Mean = sum / float64(req.Trials)
@@ -299,8 +317,10 @@ func planCapacitySearch(req *CapacitySearchRequest) (*plan, *apiError) {
 				}
 				w.cache.put(famKey, fam)
 			}
-			max, err := cs.RunOnFamily(fam, func() bool {
+			max, err := cs.RunOnFamilyObserved(fam, func() bool {
 				return ctx.Err() != nil
+			}, func(servers int, feasible bool) {
+				emit(ctx, &ProbeEvent{Op: "probe", Servers: servers, Feasible: feasible})
 			})
 			if err == jellyfish.ErrInterrupted {
 				return nil, ctx.Err()
@@ -418,6 +438,12 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 				w.cache.put("chain:"+keys[0], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
 				resumed = 0
 			}
+			// Replay the resumed prefix into the event stream: a checkpoint
+			// hit must emit exactly the payloads a cold evaluation would,
+			// or cache state would leak into the stream bytes.
+			for _, st := range steps {
+				emit(ctx, &StepEvent{Op: "step", Step: st})
+			}
 			for i := resumed + 1; i < len(keys); i++ {
 				if err := ctx.Err(); err != nil {
 					return nil, err
@@ -429,6 +455,7 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 				lam := ev.OptimalThroughput(top, req.Seed)
 				steps = append(steps, stepOf(i, desc, lam))
 				w.cache.put("chain:"+keys[i], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
+				emit(ctx, &StepEvent{Op: "step", Step: steps[len(steps)-1]})
 			}
 			return &WhatIfResponse{Steps: steps}, nil
 		},

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"jellyfish/internal/persist"
 )
 
 // The async job API: heavy planning operations (capacity searches, long
@@ -17,7 +19,13 @@ import (
 // digests — so its result bytes are identical to the sync endpoint's for
 // the same request (asserted in the e2e suite). Job envelopes (ids,
 // timestamps) are bookkeeping and are NOT covered by the determinism
-// guarantee; results are.
+// guarantee; results and streamed progress payloads are.
+//
+// With a state directory configured (Options.StateDir), the store is
+// durable: every submission and terminal transition is journaled, and a
+// restarted daemon replays the journal so queued/running jobs re-execute
+// (byte-identical by the determinism guarantee) and finished jobs stay
+// fetchable. See persistence.go and DESIGN.md §14.
 
 // Job states.
 const (
@@ -28,20 +36,53 @@ const (
 	jobCancelled = "cancelled"
 )
 
+func terminalStatus(s string) bool {
+	return s == jobSucceeded || s == jobFailed || s == jobCancelled
+}
+
 type job struct {
 	id  string
 	typ string
+	// request is the submitted request document, retained so a durable
+	// store can journal it and a restarted daemon can re-plan it.
+	request json.RawMessage
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// eventsCh broadcasts on every append to events and on the terminal
+	// transition, waking SSE subscribers; it is a *sync.Cond over mu.
+	eventsCh *sync.Cond
 	status   string
 	result   []byte
+	events   [][]byte
 	err      *apiError
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// clientCancel marks a cancellation requested through the API (as
+	// opposed to daemon shutdown): only client cancellations journal a
+	// terminal record — a shutdown-interrupted job must replay as
+	// unfinished so the next boot restarts it.
+	clientCancel bool
 
 	cancel context.CancelFunc
+	// runCtx is the execution context paired with cancel; retained so
+	// recovery can relaunch a rebuilt job through start.
+	runCtx context.Context
 	done   chan struct{}
+}
+
+func newJob(id, typ string, request json.RawMessage, cancel context.CancelFunc) *job {
+	j := &job{
+		id:      id,
+		typ:     typ,
+		request: request,
+		status:  jobQueued,
+		created: time.Now().UTC(), //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest or event payload
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	j.eventsCh = sync.NewCond(&j.mu)
+	return j
 }
 
 // JobView is the wire representation of a job.
@@ -71,21 +112,39 @@ type JobSpec struct {
 // without bound.
 const maxJobs = 1024
 
+// maxTombstones bounds the evicted-id set behind the 410 Gone answers;
+// past it the oldest tombstones age out to plain 404s.
+const maxTombstones = 4 * maxJobs
+
 type jobStore struct {
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*job
+	// evicted remembers ids dropped by the retention cap, so clients can
+	// distinguish "evicted" (410 Gone) from "never existed" (404).
+	evicted map[string]bool
+	// draining refuses new submissions during graceful shutdown.
+	draining bool
 	// cap is maxJobs, overridable in tests.
 	cap int
+
+	// Persistence (nil store = memory-only daemon). pmu serializes all
+	// store I/O and the snapshot cadence. Lock order: pmu may take mu
+	// (and per-job mu) while building a snapshot, so appendRecord and
+	// persistDone must never be called with mu held.
+	pmu           sync.Mutex
+	store         *persist.Store
+	snapshotEvery int
+	appended      int
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{jobs: make(map[string]*job), cap: maxJobs}
+	return &jobStore{jobs: make(map[string]*job), evicted: make(map[string]bool), cap: maxJobs}
 }
 
-// submit validates the spec, plans it, and starts it asynchronously on
-// the scheduler. Validation errors surface now (HTTP 400); execution
-// errors surface on the job.
+// submit validates the spec, plans it, journals it, and starts it
+// asynchronously on the scheduler. Validation and journaling errors
+// surface now (HTTP 400/500); execution errors surface on the job.
 func (js *jobStore) submit(sched *scheduler, spec *JobSpec) (*job, *apiError) {
 	p, aerr := planJob(spec)
 	if aerr != nil {
@@ -93,40 +152,75 @@ func (js *jobStore) submit(sched *scheduler, spec *JobSpec) (*job, *apiError) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	js.mu.Lock()
-	if len(js.jobs) >= js.cap && !js.evictFinishedLocked() {
+	if js.draining {
 		js.mu.Unlock()
 		cancel()
-		return nil, &apiError{Status: http.StatusTooManyRequests, Code: "job_store_full",
-			Message: fmt.Sprintf("all %d retained jobs are still queued or running; retry after some finish or cancel", len(js.jobs))}
+		return nil, &apiError{Status: http.StatusServiceUnavailable, Code: "shutting_down",
+			Message: "server is draining; no new jobs admitted"}
+	}
+	evictedID := ""
+	if len(js.jobs) >= js.cap {
+		if evictedID = js.evictFinishedLocked(); evictedID == "" {
+			n := len(js.jobs)
+			js.mu.Unlock()
+			cancel()
+			return nil, &apiError{Status: http.StatusTooManyRequests, Code: "job_store_full",
+				Message: fmt.Sprintf("all %d retained jobs are still queued or running; retry after some finish or cancel", n)}
+		}
 	}
 	js.seq++
-	j := &job{
-		id:      fmt.Sprintf("j%06d", js.seq),
-		typ:     spec.Type,
-		status:  jobQueued,
-		created: time.Now().UTC(), //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest
-		cancel:  cancel,
-		done:    make(chan struct{}),
-	}
+	j := newJob(fmt.Sprintf("j%06d", js.seq), spec.Type, spec.Request, cancel)
+	j.runCtx = ctx
 	js.jobs[j.id] = j
+	seq := js.seq
 	js.mu.Unlock()
 
-	//jellyvet:allow determinism -- async job executor; the result itself is computed on the scheduler's deterministic path
+	if evictedID != "" {
+		js.appendRecord(&jobRecord{Kind: recEvict, ID: evictedID})
+	}
+	if aerr := js.appendRecord(&jobRecord{
+		Kind: recSubmit, ID: j.id, Seq: seq, Type: j.typ, Request: j.request,
+		Created: j.created.Format(time.RFC3339Nano),
+	}); aerr != nil {
+		// The submission never became durable: withdraw it rather than
+		// acknowledge a job a restart would forget.
+		js.mu.Lock()
+		delete(js.jobs, j.id)
+		js.mu.Unlock()
+		cancel()
+		return nil, aerr
+	}
+	js.start(sched, j, p, ctx)
+	return j, nil
+}
+
+// start launches a job's executor goroutine — shared by submit and
+// crash recovery (recoverState re-runs unfinished jobs through exactly
+// this path, which is why replayed results are byte-identical).
+//
+//jellyvet:allow determinism -- async job executor; the result itself is computed on the scheduler's deterministic path
+func (js *jobStore) start(sched *scheduler, j *job, p *plan, ctx context.Context) {
 	go func() {
 		defer close(j.done)
+		onEvent := func(b []byte) {
+			j.mu.Lock()
+			j.events = append(j.events, b)
+			j.eventsCh.Broadcast()
+			j.mu.Unlock()
+		}
 		// Jobs skip single-flight (each has its own cancellation scope)
 		// but still hit the response cache on the worker.
 		resp, err := sched.do(ctx, p, false, func() {
 			j.mu.Lock()
 			if j.status == jobQueued {
 				j.status = jobRunning
-				j.started = time.Now().UTC() //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest
+				j.started = time.Now().UTC() //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest or event payload
 			}
 			j.mu.Unlock()
-		})
+		}, onEvent)
 		j.mu.Lock()
-		defer j.mu.Unlock()
-		j.finished = time.Now().UTC() //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest
+		j.finished = time.Now().UTC() //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest or event payload
+		persist := true
 		switch {
 		case err == nil:
 			j.status = jobSucceeded
@@ -134,6 +228,10 @@ func (js *jobStore) submit(sched *scheduler, spec *JobSpec) (*job, *apiError) {
 		case ctx.Err() != nil:
 			j.status = jobCancelled
 			j.err = &apiError{Status: http.StatusConflict, Code: "cancelled", Message: "job cancelled"}
+			// Shutdown interruptions journal nothing: the submit record
+			// without a terminal record is the checkpoint that makes the
+			// next boot re-run this job.
+			persist = j.clientCancel
 		default:
 			j.status = jobFailed
 			if ae, ok := err.(*apiError); ok {
@@ -142,8 +240,12 @@ func (js *jobStore) submit(sched *scheduler, spec *JobSpec) (*job, *apiError) {
 				j.err = &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
 			}
 		}
+		j.eventsCh.Broadcast()
+		j.mu.Unlock()
+		if persist {
+			js.persistDone(j)
+		}
 	}()
-	return j, nil
 }
 
 // planJob maps a job type to the sync endpoint's planner, so job results
@@ -198,24 +300,43 @@ func olderID(a, b string) bool {
 	return a < b
 }
 
-// evictFinishedLocked drops the oldest finished job, reporting whether
-// one was found.
-func (js *jobStore) evictFinishedLocked() bool {
+// evictFinishedLocked drops the oldest finished job, returning its id
+// ("" if every retained job is still queued or running). The dropped id
+// joins the tombstone set so later lookups answer 410 Gone.
+func (js *jobStore) evictFinishedLocked() string {
 	oldest := ""
 	//jellyvet:allow determinism -- min-by-id reduction; result independent of iteration order
 	for id, j := range js.jobs {
 		j.mu.Lock()
-		finished := j.status == jobSucceeded || j.status == jobFailed || j.status == jobCancelled
+		finished := terminalStatus(j.status)
 		j.mu.Unlock()
 		if finished && (oldest == "" || olderID(id, oldest)) {
 			oldest = id
 		}
 	}
 	if oldest == "" {
-		return false
+		return ""
 	}
 	delete(js.jobs, oldest)
-	return true
+	js.evicted[oldest] = true
+	if len(js.evicted) > maxTombstones {
+		js.dropOldestTombstonesLocked()
+	}
+	return oldest
+}
+
+// dropOldestTombstonesLocked ages the oldest half of the tombstone set
+// out to plain 404s, keeping the 410 memory bounded.
+func (js *jobStore) dropOldestTombstonesLocked() {
+	ids := make([]string, 0, len(js.evicted))
+	//jellyvet:allow determinism -- collected then sorted by id before any use
+	for id := range js.evicted {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return olderID(ids[a], ids[b]) })
+	for _, id := range ids[:len(ids)/2] {
+		delete(js.evicted, id)
+	}
 }
 
 func (js *jobStore) get(id string) (*job, *apiError) {
@@ -223,6 +344,10 @@ func (js *jobStore) get(id string) (*job, *apiError) {
 	defer js.mu.Unlock()
 	j, ok := js.jobs[id]
 	if !ok {
+		if js.evicted[id] {
+			return nil, &apiError{Status: http.StatusGone, Code: "job_evicted",
+				Message: fmt.Sprintf("job %q was evicted by the retention cap (%d jobs); resubmit the request — results are deterministic", id, js.cap)}
+		}
 		return nil, &apiError{Status: http.StatusNotFound, Code: "unknown_job", Message: fmt.Sprintf("no job %q", id)}
 	}
 	return j, nil
@@ -268,10 +393,15 @@ func (j *job) view(withResult bool) JobView {
 	return v
 }
 
-// cancelJob requests cancellation: queued jobs die at dequeue, running
-// interruptible operations (capacity searches between trial solves,
-// what-if chains and evaluations between solves) at their next poll. A
-// finished job is left untouched.
+// cancelJob requests cancellation on a client's behalf: queued jobs die
+// at dequeue, running interruptible operations (capacity searches
+// between trial solves, what-if chains and evaluations between solves)
+// at their next poll. A finished job is left untouched. Unlike shutdown
+// interruption, a client cancellation is a terminal state and is
+// journaled as one.
 func (j *job) cancelJob() {
+	j.mu.Lock()
+	j.clientCancel = true
+	j.mu.Unlock()
 	j.cancel()
 }

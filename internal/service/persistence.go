@@ -1,0 +1,459 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"jellyfish/internal/persist"
+)
+
+// Durable job store plumbing. The journal holds one JSON record per
+// state transition; a snapshot (written every snapshotEvery records)
+// subsumes the journal and truncates it. Result and event-stream bytes
+// live outside both, in content-addressed blobs — the journal and
+// snapshot reference them by digest, which keeps records small and makes
+// replay cheap. Because job results are pure functions of their request
+// (the service-wide determinism guarantee), re-running an interrupted
+// job after a crash reproduces the exact bytes a completed run would
+// have stored; durability only has to preserve *intent* (the submit
+// record), not progress. See DESIGN.md §14 for the full format and the
+// replay-determinism argument.
+
+// Journal record kinds.
+const (
+	recSubmit = "submit"
+	recDone   = "done"
+	recEvict  = "evict"
+)
+
+// persistedError journals an apiError with its HTTP status, which the
+// in-memory type deliberately omits from client-facing JSON.
+type persistedError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func toPersistedError(e *apiError) *persistedError {
+	if e == nil {
+		return nil
+	}
+	return &persistedError{Status: e.Status, Code: e.Code, Message: e.Message}
+}
+
+func (pe *persistedError) toAPIError() *apiError {
+	if pe == nil {
+		return nil
+	}
+	return &apiError{Status: pe.Status, Code: pe.Code, Message: pe.Message}
+}
+
+// jobRecord is one journal entry. Kind selects which fields are
+// meaningful: submit carries the request envelope, done the terminal
+// state and blob digests, evict just the id.
+type jobRecord struct {
+	Kind    string          `json:"kind"`
+	ID      string          `json:"id"`
+	Seq     int             `json:"seq,omitempty"`
+	Type    string          `json:"type,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+	Created string          `json:"created,omitempty"`
+
+	Status       string          `json:"status,omitempty"`
+	Started      string          `json:"started,omitempty"`
+	Finished     string          `json:"finished,omitempty"`
+	Error        *persistedError `json:"error,omitempty"`
+	ResultDigest string          `json:"resultDigest,omitempty"`
+	EventsDigest string          `json:"eventsDigest,omitempty"`
+}
+
+// persistedJob is a job's durable view: the submit envelope plus, once
+// terminal, the done fields. It doubles as the snapshot entry and the
+// replay accumulator.
+type persistedJob struct {
+	ID      string          `json:"id"`
+	Seq     int             `json:"seq"`
+	Type    string          `json:"type"`
+	Request json.RawMessage `json:"request"`
+	Created string          `json:"created"`
+
+	Status       string          `json:"status,omitempty"`
+	Started      string          `json:"started,omitempty"`
+	Finished     string          `json:"finished,omitempty"`
+	Error        *persistedError `json:"error,omitempty"`
+	ResultDigest string          `json:"resultDigest,omitempty"`
+	EventsDigest string          `json:"eventsDigest,omitempty"`
+}
+
+// snapshotDoc is the snapshot file: everything needed to rebuild the
+// job store without the journal.
+type snapshotDoc struct {
+	Seq     int            `json:"seq"`
+	Evicted []string       `json:"evicted,omitempty"`
+	Jobs    []persistedJob `json:"jobs"`
+}
+
+// appendRecord journals one record and advances the snapshot cadence.
+// A write failure is surfaced so submit can refuse to acknowledge a job
+// that would vanish on restart. No-op without a store.
+func (js *jobStore) appendRecord(rec *jobRecord) *apiError {
+	js.pmu.Lock()
+	defer js.pmu.Unlock()
+	if js.store == nil {
+		return nil
+	}
+	if err := js.store.Append(mustJSON(rec)); err != nil {
+		return &apiError{Status: http.StatusInternalServerError, Code: "store_write_failed",
+			Message: fmt.Sprintf("journaling %s record: %v", rec.Kind, err)}
+	}
+	js.appended++
+	if js.appended >= js.snapshotEvery {
+		js.snapshotUnderPMU()
+	}
+	return nil
+}
+
+// persistDone writes a finished job's result and event stream to blob
+// storage and journals the terminal record. Blobs land before the record
+// that references them, so a crash between the two leaves only harmless
+// unreferenced blobs (collected at the next snapshot), never a dangling
+// digest.
+func (js *jobStore) persistDone(j *job) {
+	js.pmu.Lock()
+	defer js.pmu.Unlock()
+	if js.store == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := &jobRecord{
+		Kind:     recDone,
+		ID:       j.id,
+		Status:   j.status,
+		Started:  formatTime(j.started),
+		Finished: formatTime(j.finished),
+		Error:    toPersistedError(j.err),
+	}
+	result := j.result
+	events := j.events
+	j.mu.Unlock()
+	var err error
+	if rec.ResultDigest, err = putOptionalBlob(js.store, result); err == nil {
+		rec.EventsDigest, err = putOptionalBlob(js.store, encodeEvents(events))
+	}
+	if err == nil {
+		err = js.store.Append(mustJSON(rec))
+	}
+	if err != nil {
+		// The job finished in memory and stays servable; it will simply
+		// re-run after a restart. Losing durability is worth a log line,
+		// not a crash.
+		fmt.Printf("jellyfishd: persisting job %s: %v\n", j.id, err)
+		return
+	}
+	js.appended++
+	if js.appended >= js.snapshotEvery {
+		js.snapshotUnderPMU()
+	}
+}
+
+func formatTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(time.RFC3339Nano)
+}
+
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339Nano, s)
+}
+
+// putOptionalBlob stores b (empty → no blob, empty digest).
+func putOptionalBlob(store *persist.Store, b []byte) (string, error) {
+	if len(b) == 0 {
+		return "", nil
+	}
+	return store.PutBlob(b)
+}
+
+// encodeEvents packs an event stream into one blob: a JSON array of the
+// raw payloads, in emission order.
+func encodeEvents(events [][]byte) []byte {
+	if len(events) == 0 {
+		return nil
+	}
+	raw := make([]json.RawMessage, len(events))
+	for i, e := range events {
+		raw[i] = e
+	}
+	return mustJSON(raw)
+}
+
+func decodeEvents(b []byte) ([][]byte, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return nil, err
+	}
+	events := make([][]byte, len(raw))
+	for i, r := range raw {
+		events[i] = r
+	}
+	return events, nil
+}
+
+// snapshotUnderPMU writes a snapshot of the live job store, truncates
+// the journal, and collects unreferenced blobs. Caller holds pmu (which
+// serializes all blob writes, so the GC scan cannot race a PutBlob).
+func (js *jobStore) snapshotUnderPMU() {
+	doc, live, err := js.buildSnapshot()
+	if err == nil {
+		err = js.store.WriteSnapshot(mustJSON(doc))
+	}
+	if err != nil {
+		fmt.Printf("jellyfishd: writing snapshot: %v\n", err)
+		return
+	}
+	js.appended = 0
+	digests, err := js.store.Blobs()
+	if err != nil {
+		fmt.Printf("jellyfishd: listing blobs for gc: %v\n", err)
+		return
+	}
+	for _, d := range digests {
+		if !live[d] {
+			if err := js.store.RemoveBlob(d); err != nil {
+				fmt.Printf("jellyfishd: collecting blob %s: %v\n", d, err)
+			}
+		}
+	}
+}
+
+// buildSnapshot renders the live store as a snapshotDoc plus the set of
+// blob digests it references. Terminal jobs' blobs are (re)written here
+// so the snapshot never references a digest the blob store lacks — a
+// snapshot can race a finishing job whose persistDone has not run yet.
+// Shutdown-interrupted jobs (cancelled without clientCancel) snapshot as
+// unfinished so the next boot re-runs them.
+func (js *jobStore) buildSnapshot() (*snapshotDoc, map[string]bool, error) {
+	js.mu.Lock()
+	jobs := make([]*job, 0, len(js.jobs))
+	for _, j := range js.jobs { //jellyvet:allow determinism -- collected then sorted by id before any use
+		jobs = append(jobs, j)
+	}
+	doc := &snapshotDoc{Seq: js.seq, Evicted: make([]string, 0, len(js.evicted))}
+	for id := range js.evicted { //jellyvet:allow determinism -- collected then sorted before any use
+		doc.Evicted = append(doc.Evicted, id)
+	}
+	js.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return olderID(jobs[a].id, jobs[b].id) })
+	sort.Slice(doc.Evicted, func(a, b int) bool { return olderID(doc.Evicted[a], doc.Evicted[b]) })
+
+	live := make(map[string]bool)
+	for _, j := range jobs {
+		j.mu.Lock()
+		pj := persistedJob{
+			ID:      j.id,
+			Seq:     jobSeq(j.id),
+			Type:    j.typ,
+			Request: j.request,
+			Created: formatTime(j.created),
+		}
+		durableTerminal := terminalStatus(j.status) && (j.status != jobCancelled || j.clientCancel)
+		var result, eventsBlob []byte
+		if durableTerminal {
+			pj.Status = j.status
+			pj.Started = formatTime(j.started)
+			pj.Finished = formatTime(j.finished)
+			pj.Error = toPersistedError(j.err)
+			result = j.result
+			eventsBlob = encodeEvents(j.events)
+		}
+		j.mu.Unlock()
+		if durableTerminal {
+			var err error
+			if pj.ResultDigest, err = putOptionalBlob(js.store, result); err != nil {
+				return nil, nil, err
+			}
+			if pj.EventsDigest, err = putOptionalBlob(js.store, eventsBlob); err != nil {
+				return nil, nil, err
+			}
+			if pj.ResultDigest != "" {
+				live[pj.ResultDigest] = true
+			}
+			if pj.EventsDigest != "" {
+				live[pj.EventsDigest] = true
+			}
+		}
+		doc.Jobs = append(doc.Jobs, pj)
+	}
+	return doc, live, nil
+}
+
+// jobSeq recovers the sequence number embedded in a job id ("j%06d").
+func jobSeq(id string) int {
+	var n int
+	fmt.Sscanf(id, "j%d", &n)
+	return n
+}
+
+// recoverJobs rebuilds the job store from a recovered state: snapshot
+// first, then journal records in order. Finished jobs come back with
+// their result and event bytes loaded from blob storage; unfinished jobs
+// (queued, running, or shutdown-interrupted at the crash) are re-planned
+// and re-launched through the exact submit execution path, so the
+// determinism guarantee makes their eventual results byte-identical to
+// an uninterrupted run. Corruption — unknown record kinds, missing
+// blobs, unparsable documents — fails loudly rather than guessing.
+func (js *jobStore) recoverJobs(sched *scheduler, state persist.RecoveredState) error {
+	byID := make(map[string]*persistedJob)
+	evicted := make(map[string]bool)
+	maxSeq := 0
+	if len(state.Snapshot) > 0 {
+		var doc snapshotDoc
+		if err := json.Unmarshal(state.Snapshot, &doc); err != nil {
+			return fmt.Errorf("parsing snapshot: %w", err)
+		}
+		maxSeq = doc.Seq
+		for _, id := range doc.Evicted {
+			evicted[id] = true
+		}
+		for i := range doc.Jobs {
+			pj := doc.Jobs[i]
+			byID[pj.ID] = &pj
+		}
+	}
+	for i, raw := range state.Records {
+		var rec jobRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("parsing journal record %d: %w", i, err)
+		}
+		switch rec.Kind {
+		case recSubmit:
+			byID[rec.ID] = &persistedJob{
+				ID: rec.ID, Seq: rec.Seq, Type: rec.Type, Request: rec.Request, Created: rec.Created,
+			}
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		case recDone:
+			pj, ok := byID[rec.ID]
+			if !ok {
+				// A job can be evicted (terminal in memory) before its
+				// done record lands; the late record is then harmless.
+				if evicted[rec.ID] {
+					continue
+				}
+				return fmt.Errorf("journal record %d: done for unknown job %s", i, rec.ID)
+			}
+			pj.Status = rec.Status
+			pj.Started = rec.Started
+			pj.Finished = rec.Finished
+			pj.Error = rec.Error
+			pj.ResultDigest = rec.ResultDigest
+			pj.EventsDigest = rec.EventsDigest
+		case recEvict:
+			delete(byID, rec.ID)
+			evicted[rec.ID] = true
+		default:
+			return fmt.Errorf("journal record %d: unknown kind %q — refusing to guess", i, rec.Kind)
+		}
+	}
+
+	ids := make([]string, 0, len(byID))
+	for id := range byID { //jellyvet:allow determinism -- collected then sorted by id before any use
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return olderID(ids[a], ids[b]) })
+
+	js.mu.Lock()
+	js.seq = maxSeq
+	for id := range evicted { //jellyvet:allow determinism -- set copy; order-free
+		js.evicted[id] = true
+	}
+	js.mu.Unlock()
+
+	for _, id := range ids {
+		pj := byID[id]
+		j, restart, err := js.rebuildJob(pj)
+		if err != nil {
+			return err
+		}
+		js.mu.Lock()
+		js.jobs[j.id] = j
+		js.mu.Unlock()
+		if restart != nil {
+			js.start(sched, j, restart, j.runCtx)
+		}
+	}
+	return nil
+}
+
+// rebuildJob turns a persisted view back into a live job. For terminal
+// jobs the returned plan is nil; otherwise the job must be started with
+// the returned plan. A persisted request that no longer plans cleanly
+// comes back as a failed job rather than poisoning recovery: the store
+// survives, the job reports the planning error.
+func (js *jobStore) rebuildJob(pj *persistedJob) (*job, *plan, error) {
+	created, err := parseTime(pj.Created)
+	if err != nil {
+		return nil, nil, fmt.Errorf("job %s: parsing created time: %w", pj.ID, err)
+	}
+	started, err := parseTime(pj.Started)
+	if err != nil {
+		return nil, nil, fmt.Errorf("job %s: parsing started time: %w", pj.ID, err)
+	}
+	finished, err := parseTime(pj.Finished)
+	if err != nil {
+		return nil, nil, fmt.Errorf("job %s: parsing finished time: %w", pj.ID, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := newJob(pj.ID, pj.Type, pj.Request, cancel)
+	j.created = created
+	j.runCtx = ctx
+
+	if pj.Status != "" {
+		if !terminalStatus(pj.Status) {
+			return nil, nil, fmt.Errorf("job %s: persisted with non-terminal status %q", pj.ID, pj.Status)
+		}
+		j.status = pj.Status
+		j.started = started
+		j.finished = finished
+		j.err = pj.Error.toAPIError()
+		j.clientCancel = pj.Status == jobCancelled
+		if pj.ResultDigest != "" {
+			if j.result, err = js.store.GetBlob(pj.ResultDigest); err != nil {
+				return nil, nil, fmt.Errorf("job %s: loading result blob: %w", pj.ID, err)
+			}
+		}
+		if pj.EventsDigest != "" {
+			blob, err := js.store.GetBlob(pj.EventsDigest)
+			if err != nil {
+				return nil, nil, fmt.Errorf("job %s: loading events blob: %w", pj.ID, err)
+			}
+			if j.events, err = decodeEvents(blob); err != nil {
+				return nil, nil, fmt.Errorf("job %s: decoding events blob: %w", pj.ID, err)
+			}
+		}
+		close(j.done)
+		return j, nil, nil
+	}
+
+	p, aerr := planJob(&JobSpec{Type: pj.Type, Request: pj.Request})
+	if aerr != nil {
+		j.status = jobFailed
+		j.err = aerr
+		close(j.done)
+		return j, nil, nil
+	}
+	return j, p, nil
+}

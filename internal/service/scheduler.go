@@ -44,10 +44,25 @@ type task struct {
 	ctx     context.Context
 	dedup   bool
 	onStart func()
+	// onEvent, when non-nil, receives each progress payload the executor
+	// emits (and, on a response-cache hit, the cached stream replayed in
+	// order) — the live feed behind GET /v1/jobs/{id}/events.
+	onEvent func([]byte)
 
-	done chan struct{}
-	resp []byte
-	err  error
+	done   chan struct{}
+	resp   []byte
+	events [][]byte
+	err    error
+}
+
+// A cachedResult is one "resp:" cache entry: the response bytes plus
+// the progress-event payloads the execution emitted. They live in one
+// entry so a cache hit replays exactly the event stream a cold
+// execution produces — evicting one without the other could otherwise
+// split the determinism guarantee between response and stream.
+type cachedResult struct {
+	resp   []byte
+	events [][]byte
 }
 
 type stats struct {
@@ -118,8 +133,8 @@ func newScheduler(workers, solverWorkers, cacheEntries int) *scheduler {
 // execution context (checked at dequeue and polled by interruptible
 // executors); dedup enables single-flight coalescing, onStart (optional)
 // fires when execution actually begins on the worker.
-func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func()) ([]byte, error) {
-	t := &task{plan: p, ctx: ctx, dedup: dedup, onStart: onStart, done: make(chan struct{})}
+func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func(), onEvent func([]byte)) ([]byte, error) {
+	t := &task{plan: p, ctx: ctx, dedup: dedup, onStart: onStart, onEvent: onEvent, done: make(chan struct{})}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -130,6 +145,13 @@ func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func())
 			s.mu.Unlock()
 			s.stats.deduped.Add(1)
 			<-prior.done
+			// A deduped follower receives the leader's event stream after
+			// the fact — identical payload bytes, just not live.
+			if onEvent != nil && prior.err == nil {
+				for _, e := range prior.events {
+					onEvent(e)
+				}
+			}
 			return prior.resp, prior.err
 		}
 		s.inflight[p.key] = t
@@ -169,9 +191,16 @@ func (w *worker) execute(s *scheduler, t *task) {
 			return
 		}
 	}
-	if resp, ok := w.cache.get("resp:" + t.key); ok {
+	if v, ok := w.cache.get("resp:" + t.key); ok {
+		cr := v.(*cachedResult)
 		w.stats.resultHits.Add(1)
-		t.resp = resp.([]byte)
+		if t.onEvent != nil {
+			for _, e := range cr.events {
+				t.onEvent(e)
+			}
+		}
+		t.resp = cr.resp
+		t.events = cr.events
 		return
 	}
 	w.stats.resultMisses.Add(1)
@@ -189,7 +218,7 @@ func (w *worker) execute(s *scheduler, t *task) {
 		return
 	}
 	t.resp = b
-	w.cache.put("resp:"+t.key, b)
+	w.cache.put("resp:"+t.key, &cachedResult{resp: b, events: t.events})
 }
 
 // runGuarded executes a plan, converting a panic into a 500. The shard
@@ -204,7 +233,20 @@ func runGuarded(t *task, w *worker) (v any, err error) {
 				Message: fmt.Sprintf("executor panic: %v", r)}
 		}
 	}()
-	return t.run(t.ctx, w)
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Progress payloads are recorded on the task (for the response cache)
+	// and forwarded live to the subscriber, in emission order. The sink
+	// runs on this worker goroutine only, so the slice needs no locking.
+	sink := func(b []byte) {
+		t.events = append(t.events, b)
+		if t.onEvent != nil {
+			t.onEvent(b)
+		}
+	}
+	return t.run(context.WithValue(ctx, emitKey{}, sink), w)
 }
 
 // close shuts the pool down after in-flight work drains. Submitting after

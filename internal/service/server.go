@@ -5,8 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+
+	"jellyfish/internal/persist"
 )
 
 // Options configure a Server. Worker count and cache size trade memory
@@ -32,6 +35,16 @@ type Options struct {
 	// hint — instead of queueing unbounded work on the shard workers;
 	// heavy sweeps belong on the job API, which is not admission-gated.
 	MaxSyncInflight int
+	// StateDir, when set, makes the job store durable: submissions and
+	// terminal transitions are journaled there and replayed on the next
+	// boot — queued and running jobs re-execute (byte-identical, by the
+	// determinism guarantee), finished jobs stay fetchable. Empty =
+	// memory-only daemon. See DESIGN.md §14.
+	StateDir string
+	// SnapshotEvery is the journal compaction cadence: after this many
+	// appended records the store writes a snapshot and truncates the
+	// journal (default 256). Only meaningful with StateDir.
+	SnapshotEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +65,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxSyncInflight == 0 {
 		o.MaxSyncInflight = 8 * o.Workers
 	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 256
+	}
 	return o
 }
 
@@ -66,8 +82,13 @@ type Server struct {
 	syncSem chan struct{}
 }
 
-// New builds a Server with its worker pool running.
-func New(opt Options) *Server {
+// New builds a Server with its worker pool running. With a StateDir it
+// opens (or creates) the durable job store there and replays it before
+// returning: finished jobs are fetchable again, unfinished ones are
+// already re-running. A corrupt store fails construction loudly — a
+// daemon that silently dropped journaled jobs would be worse than one
+// that refuses to start.
+func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
 		sched: newScheduler(opt.Workers, opt.SolverWorkers, opt.CacheEntries),
@@ -76,6 +97,20 @@ func New(opt Options) *Server {
 	}
 	if opt.MaxSyncInflight > 0 {
 		s.syncSem = make(chan struct{}, opt.MaxSyncInflight)
+	}
+	if opt.StateDir != "" {
+		store, state, err := persist.Open(opt.StateDir)
+		if err != nil {
+			s.sched.close()
+			return nil, fmt.Errorf("opening state dir %s: %w", opt.StateDir, err)
+		}
+		s.jobs.store = store
+		s.jobs.snapshotEvery = opt.SnapshotEvery
+		if err := s.jobs.recoverJobs(s.sched, state); err != nil {
+			store.Close()
+			s.sched.close()
+			return nil, fmt.Errorf("replaying state dir %s: %w", opt.StateDir, err)
+		}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -87,22 +122,87 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close cancels outstanding jobs and shuts the worker pool down after
-// in-flight work drains.
+// in-flight work drains. Interrupted jobs are NOT journaled as terminal,
+// so a durable store re-runs them on the next boot — Close is the
+// abrupt path; Drain is the graceful one.
 func (s *Server) Close() {
 	s.jobs.mu.Lock()
+	s.jobs.draining = true
+	jobs := make([]*job, 0, len(s.jobs.jobs))
 	for _, j := range s.jobs.jobs { //jellyvet:allow determinism -- shutdown cancels every job; order is irrelevant
 		j.cancel()
+		jobs = append(jobs, j)
 	}
 	s.jobs.mu.Unlock()
+	// Wait for executor goroutines: they exit promptly once cancelled
+	// (queued jobs at dequeue, running ones at the next interrupt poll),
+	// and the store must not close under a persistDone in flight.
+	for _, j := range jobs {
+		<-j.done
+	}
+	s.closeStore()
 	s.sched.close()
+}
+
+// Drain is the graceful counterpart to Close: stop admitting work, let
+// in-flight jobs finish (journaling their results), and only once ctx
+// expires fall back to cancelling stragglers — which are deliberately
+// left un-journaled so the next boot re-runs them from their durable
+// submit record (their "checkpoint"). Finally the store is snapshotted
+// and closed, and the worker pool shut down.
+func (s *Server) Drain(ctx context.Context) {
+	s.jobs.mu.Lock()
+	s.jobs.draining = true
+	jobs := make([]*job, 0, len(s.jobs.jobs))
+	for _, j := range s.jobs.jobs { //jellyvet:allow determinism -- drain waits on every job; order is irrelevant
+		jobs = append(jobs, j)
+	}
+	s.jobs.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			// Out of patience: interrupt everything still running and
+			// wait for the prompt exits.
+			for _, j := range jobs {
+				j.cancel()
+			}
+			for _, j := range jobs {
+				<-j.done
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	s.closeStore()
+	s.sched.close()
+}
+
+// closeStore writes a final snapshot (so the next boot replays a compact
+// store) and closes the journal. Safe without a store, and idempotent.
+func (s *Server) closeStore() {
+	js := s.jobs
+	js.pmu.Lock()
+	defer js.pmu.Unlock()
+	if js.store == nil {
+		return
+	}
+	js.snapshotUnderPMU()
+	if err := js.store.Close(); err != nil {
+		fmt.Printf("jellyfishd: closing state store: %v\n", err)
+	}
+	js.store = nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -154,6 +254,14 @@ func (s *Server) runSync(w http.ResponseWriter, p *plan, aerr *apiError) {
 		writeErr(w, aerr)
 		return
 	}
+	s.jobs.mu.Lock()
+	draining := s.jobs.draining
+	s.jobs.mu.Unlock()
+	if draining {
+		writeErr(w, &apiError{Status: http.StatusServiceUnavailable, Code: "shutting_down",
+			Message: "server is draining; no new work admitted"})
+		return
+	}
 	if s.syncSem != nil {
 		select {
 		case s.syncSem <- struct{}{}:
@@ -168,7 +276,7 @@ func (s *Server) runSync(w http.ResponseWriter, p *plan, aerr *apiError) {
 			return
 		}
 	}
-	resp, err := s.sched.do(context.Background(), p, true, nil)
+	resp, err := s.sched.do(context.Background(), p, true, nil, nil)
 	if err != nil {
 		writeSchedErr(w, err)
 		return

@@ -16,11 +16,22 @@ import (
 	"jellyfish"
 )
 
+// mustNew builds a Server, failing the test on a construction error
+// (which only a corrupt or unwritable state dir can produce).
+func mustNew(tb testing.TB, opt Options) *Server {
+	tb.Helper()
+	srv, err := New(opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv
+}
+
 // newTestServer starts a service plus an HTTP front; both are torn down
 // with the test.
 func newTestServer(t *testing.T, opt Options) (*httptest.Server, *Server) {
 	t.Helper()
-	srv := New(opt)
+	srv := mustNew(t, opt)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -422,7 +433,7 @@ func TestExecutorPanicConfinedToRequest(t *testing.T) {
 	boom := &plan{family: "f", key: "boom", run: func(ctx context.Context, w *worker) (any, error) {
 		panic("boom")
 	}}
-	_, err := srv.sched.do(context.Background(), boom, true, nil)
+	_, err := srv.sched.do(context.Background(), boom, true, nil, nil)
 	var aerr *apiError
 	if !errors.As(err, &aerr) || aerr.Status != http.StatusInternalServerError ||
 		!strings.Contains(aerr.Message, "executor panic: boom") {
@@ -431,7 +442,7 @@ func TestExecutorPanicConfinedToRequest(t *testing.T) {
 	ok := &plan{family: "f", key: "after", run: func(ctx context.Context, w *worker) (any, error) {
 		return "alive", nil
 	}}
-	resp, err := srv.sched.do(context.Background(), ok, true, nil)
+	resp, err := srv.sched.do(context.Background(), ok, true, nil, nil)
 	if err != nil || string(resp) != `"alive"` {
 		t.Fatalf("worker did not survive the panic: resp %s, err %v", resp, err)
 	}
@@ -450,7 +461,7 @@ func TestJobStoreBounded(t *testing.T) {
 		<-release
 		return "done", nil
 	}}
-	go srv.sched.do(context.Background(), blocked, false, nil)
+	go srv.sched.do(context.Background(), blocked, false, nil, nil)
 
 	jobReq := `{"type":"evaluate","request":{"topology":{"design":{"switches":4,"ports":4,"networkDegree":2,"seed":1}},"seed":1}}`
 	status, body := doPost(t, ts.URL+"/v1/jobs", jobReq)
@@ -482,8 +493,16 @@ func TestJobStoreBounded(t *testing.T) {
 	if err := json.Unmarshal(body, &second); err != nil {
 		t.Fatal(err)
 	}
-	if status, _ := doGet(t, ts.URL+"/v1/jobs/"+first.ID); status != http.StatusNotFound {
-		t.Fatalf("evicted job still retrievable: status %d, want 404", status)
+	// An evicted id answers 410 Gone with a typed error — distinguishable
+	// from an id that never existed (404) — on every job route.
+	for _, path := range []string{"", "/events", "/result"} {
+		status, body := doGet(t, ts.URL+"/v1/jobs/"+first.ID+path)
+		if status != http.StatusGone || !strings.Contains(string(body), "job_evicted") {
+			t.Fatalf("evicted job GET %s: status %d body %s, want 410 job_evicted", path, status, body)
+		}
+	}
+	if status, body := doGet(t, ts.URL+"/v1/jobs/j999999"); status != http.StatusNotFound || !strings.Contains(string(body), "unknown_job") {
+		t.Fatalf("unknown job: status %d body %s, want 404 unknown_job", status, body)
 	}
 	if v := waitJob(t, ts.URL, second.ID); v.Status != jobSucceeded {
 		t.Fatalf("second job: %s", v.Status)

@@ -384,6 +384,16 @@ func (c CapacitySearch) NewFamily() (*SearchFamily, error) {
 // from NewFamily on a CapacitySearch with the same Switches, Ports, and
 // Seed.
 func (c CapacitySearch) RunOnFamily(fam *SearchFamily, interrupt func() bool) (int, error) {
+	return c.RunOnFamilyObserved(fam, interrupt, nil)
+}
+
+// RunOnFamilyObserved executes like RunOnFamily, additionally invoking
+// probe (when non-nil) after every completed feasibility probe — the
+// streaming-progress hook for long-running service jobs. The probe
+// sequence is a deterministic function of the search configuration, so
+// identical searches produce identical (servers, feasible) streams; an
+// interrupted probe is not observed.
+func (c CapacitySearch) RunOnFamilyObserved(fam *SearchFamily, interrupt func() bool, probe func(servers int, feasible bool)) (int, error) {
 	if err := c.Validate(); err != nil {
 		return 0, err
 	}
@@ -411,6 +421,7 @@ func (c CapacitySearch) RunOnFamily(fam *SearchFamily, interrupt func() bool) (i
 		Cold:      c.ColdStart,
 		Estimator: est,
 		Interrupt: interrupt,
+		Probe:     probe,
 	})
 }
 
