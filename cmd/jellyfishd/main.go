@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128] [-max-sync 32] [-state-dir DIR]
+//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128] [-max-sync 32] [-state-dir DIR] [-debug-addr :6060] [-no-telemetry]
 //
-// Endpoints (all request/response bodies are JSON):
+// Endpoints (all request/response bodies are JSON unless noted):
 //
 //	GET  /healthz                  liveness probe
+//	GET  /metrics                  Prometheus text exposition (scheduler, caches, kernels, job store)
 //	GET  /v1/stats                 scheduler and cache counters
+//	GET  /v1/trace/{id}            finished job's recorded span tree (flight recorder)
 //	POST /v1/design                construct a Jellyfish, return stats + blueprint
 //	POST /v1/evaluate              optimal-routing throughput (random permutation)
 //	POST /v1/capacity-search       Fig. 2(c)-style max-servers search
@@ -22,6 +24,13 @@
 //	GET  /v1/jobs/{id}/events      stream progress as SSE, then a done frame
 //	GET  /v1/jobs/{id}/result      succeeded job's raw result document
 //	POST /v1/jobs/{id}/cancel      cancel a queued or running job
+//
+// With -debug-addr the Go pprof handlers (net/http/pprof) are served on
+// a separate listener at /debug/pprof/ — a private loopback address by
+// convention, never the public one, so profiling endpoints are not
+// exposed alongside the API. -no-telemetry turns the observability
+// surface off entirely; responses are byte-identical either way
+// (telemetry is strictly one-way; DESIGN.md §15).
 //
 // With -state-dir the job store survives the process: submissions are
 // journaled before they are acknowledged, and on the next boot finished
@@ -43,6 +52,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,14 +68,17 @@ func main() {
 	cacheEntries := flag.Int("cache", 128, "warm-state cache entries per worker")
 	maxSync := flag.Int("max-sync", 0, "admitted concurrent synchronous requests before shedding load with 429 + Retry-After (0 = 8×workers, negative = unlimited; the job API is never gated)")
 	stateDir := flag.String("state-dir", "", "directory for the durable job store (empty = memory-only); replayed on boot so jobs survive restarts")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for Go pprof handlers at /debug/pprof/ (empty = disabled; bind to loopback, e.g. 127.0.0.1:6060)")
+	noTelemetry := flag.Bool("no-telemetry", false, "disable the observability surface (/metrics, /v1/trace, flight recorders); responses are identical either way")
 	flag.Parse()
 
 	srv, err := service.New(service.Options{
-		Workers:         *workers,
-		SolverWorkers:   *solverWorkers,
-		CacheEntries:    *cacheEntries,
-		MaxSyncInflight: *maxSync,
-		StateDir:        *stateDir,
+		Workers:          *workers,
+		SolverWorkers:    *solverWorkers,
+		CacheEntries:     *cacheEntries,
+		MaxSyncInflight:  *maxSync,
+		StateDir:         *stateDir,
+		DisableTelemetry: *noTelemetry,
 	})
 	if err != nil {
 		log.Fatalf("jellyfishd: %v", err)
@@ -74,6 +87,30 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof surface rides a separate listener so profiling handlers
+	// never share an address with the public API. DefaultServeMux is
+	// deliberately avoided: only the pprof routes are mounted.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("jellyfishd debug (pprof) listening on %s", *debugAddr)
 	}
 
 	errc := make(chan error, 1)
@@ -93,6 +130,11 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			log.Printf("debug shutdown: %v", err)
+		}
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}

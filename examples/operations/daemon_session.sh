@@ -103,6 +103,22 @@ echo
 echo "== job $ID progress stream (SSE replay)"
 curl -fsS "$BASE/v1/jobs/$ID/events" | head -c 400; echo " ..."
 
+# The flight recorder (DESIGN.md §15): the finished job's execution was
+# recorded as a span tree — search probes nesting trials nesting solver
+# runs with their phases. Traces are wall-clock diagnostics, NOT covered
+# by the determinism guarantee, and live only in daemon memory.
+echo "== job $ID recorded span tree"
+# (stderr silenced: head truncates the pipe, which curl reports as 23)
+curl -fsS "$BASE/v1/trace/$ID" 2>/dev/null | head -c 400; echo " ..."
+
+# The Prometheus surface: scheduler queue depths and waits, per-worker
+# cache hits/misses by tier, solver phase counters and latencies,
+# job-store append/snapshot timings. One-way telemetry — scraping it
+# never perturbs a response (disable wholesale with -no-telemetry; a
+# separate -debug-addr additionally serves Go pprof on loopback).
+echo "== /metrics (solver + cache families)"
+curl -fsS "$BASE/metrics" | grep -E '^jellyfishd_(solver_phases_total|capsearch_probes_total|cache_hits_total)' | head -12
+
 # Kill/restart walkthrough: SIGKILL the daemon mid-job and restart it on
 # the same state dir. The submitted job was journaled before the 202, so
 # the restarted daemon re-runs it automatically; determinism makes the

@@ -197,6 +197,11 @@ type Config struct {
 	// streams for identical searches. Probe must not mutate search
 	// state; an interrupted probe is not observed.
 	Probe func(servers int, feasible bool)
+	// Obs, when non-nil, receives one-way instrumentation (probe/trial
+	// spans and counts, with Obs.Solver threaded into every trial's
+	// solver). It never influences the search; results are identical
+	// with or without it. See capsearch.Obs.
+	Obs *Obs
 }
 
 // MaxServers searches for the largest feasible server count in [Lo, Hi].
@@ -275,6 +280,7 @@ type probeStats struct {
 func newProber(cfg Config) *prober {
 	opt := cfg.Solver
 	opt.Workers = cfg.Workers
+	opt.Obs = cfg.Obs.solverObs()
 	p := &prober{
 		cfg:     cfg,
 		solvers: make([]*mcf.Solver, cfg.Trials),
@@ -289,6 +295,8 @@ func newProber(cfg Config) *prober {
 func (p *prober) feasible(servers int) (bool, error) {
 	top := p.cfg.Family.At(servers)
 	assign := p.cfg.Family.Assign(servers)
+	obsT := p.cfg.Obs.probeBegin(servers)
+	defer p.cfg.Obs.probeEnd(obsT)
 	p.last = probeStats{servers: servers, links: top.NumLinks(), lb: math.Inf(1), ub: math.Inf(1)}
 	for i := 0; i < p.cfg.Trials; i++ {
 		if p.cfg.Interrupt != nil && p.cfg.Interrupt() {
@@ -342,6 +350,8 @@ func (p *prober) predict() int {
 // trial advances trial i's chain through the probe at the given topology,
 // reporting whether the permutation is supported at full rate.
 func (p *prober) trial(i int, top *topology.Topology, assign []int) bool {
+	p.cfg.Obs.trialBegin(i)
+	defer p.cfg.Obs.trialEnd()
 	comms := cycleCommodities(assign, p.cfg.Traffic.SplitN("trial", i))
 	if p.cfg.Estimator != nil {
 		b := p.cfg.Estimator.Estimate(top.Compact(), comms)

@@ -1,0 +1,62 @@
+package capsearch
+
+import (
+	"jellyfish/internal/mcf"
+	"jellyfish/internal/telemetry"
+)
+
+// Obs is the capacity search's telemetry bundle: probe/trial counters
+// and durations, flight-recorder spans, and the solver-level bundle to
+// thread into each trial's mcf.Options. Like mcf.Obs it is strictly
+// one-way (enforced by jellyvet's obsconfine analyzer) and fully
+// nil-safe: a nil *Obs — the default — records nothing and changes no
+// result.
+//
+// Rec (and Solver.Rec) must be confined to the goroutine running the
+// search.
+type Obs struct {
+	Probes   *telemetry.Counter // feasibility probes completed
+	Trials   *telemetry.Counter // trial evaluations (incl. estimator-screened)
+	ProbeDur *telemetry.Histogram
+	Rec      *telemetry.Recorder // spans: capsearch.probe > capsearch.trial > mcf.solve
+	Solver   *mcf.Obs            // threaded into the per-trial solver options
+}
+
+func (o *Obs) solverObs() *mcf.Obs {
+	if o == nil {
+		return nil
+	}
+	return o.Solver
+}
+
+func (o *Obs) probeBegin(servers int) telemetry.Timer {
+	if o == nil {
+		return telemetry.Timer{}
+	}
+	o.Rec.Begin("capsearch.probe", int64(servers))
+	return telemetry.StartTimer()
+}
+
+func (o *Obs) probeEnd(t telemetry.Timer) {
+	if o == nil {
+		return
+	}
+	o.Probes.Inc()
+	o.ProbeDur.ObserveSince(t)
+	o.Rec.End()
+}
+
+func (o *Obs) trialBegin(i int) {
+	if o == nil {
+		return
+	}
+	o.Rec.Begin("capsearch.trial", int64(i))
+}
+
+func (o *Obs) trialEnd() {
+	if o == nil {
+		return
+	}
+	o.Trials.Inc()
+	o.Rec.End()
+}

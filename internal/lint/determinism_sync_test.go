@@ -28,6 +28,7 @@ var undeclaredDeterminismDeps = map[string]string{
 	"jellyfish/internal/persist":   "storage I/O, not computation: journal/blob round-tripping is byte-exact by its own tests, and nothing it stores enters a response digest uncomputed",
 	"jellyfish/internal/maxflow":   "exact solver backing bisection; same scalar-output argument",
 	"jellyfish/internal/metrics":   "pure aggregation over already-deterministic inputs",
+	"jellyfish/internal/telemetry": "the observability core: it owns every clock read by design so kernels never touch time, and jellyvet's obsconfine analyzer keeps its data flow one-way",
 }
 
 func TestDeterministicPackageListInSync(t *testing.T) {

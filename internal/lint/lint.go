@@ -132,9 +132,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
-// All returns jellyvet's four analyzers.
+// All returns jellyvet's five analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Hotpath, RNGStream, Confinement}
+	return []*Analyzer{Determinism, Hotpath, RNGStream, Confinement, Obsconfine}
 }
 
 // typeInvolves reports whether t is named (or is a pointer / slice /

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Obsconfine enforces the telemetry confinement contract (DESIGN.md §15)
+// that makes instrumenting deterministic kernels safe:
+//
+//  1. One-way flow. In the declared deterministic packages, calls into
+//     internal/telemetry may write (counters, gauges, histograms, span
+//     recorders) but their results must never feed back into
+//     computation: a read-out like Counter.Value escaping into ordinary
+//     code is exactly how "just a metric" becomes an output-perturbing
+//     input. Results that are themselves telemetry types (Timer, Mark,
+//     *Trace) are inert and may flow anywhere; scalar results may only
+//     be discarded or passed straight back into telemetry.
+//  2. Hot-path allowlist. Inside //jellyvet:hotpath functions, only the
+//     zero-alloc instruments may be called — the trace-extraction and
+//     registration entry points allocate and belong outside the kernel.
+var Obsconfine = &Analyzer{
+	Name: "obsconfine",
+	Doc: `keep telemetry one-way in deterministic packages and zero-alloc on hot paths
+
+In packages declared deterministic (lint.DeterministicPackages), flags
+internal/telemetry call results that escape into non-telemetry code
+(assignment to ordinary variables, arithmetic, conditions, arguments to
+ordinary functions, returns): instrumentation must be write-only so it
+cannot perturb byte-identical outputs. In //jellyvet:hotpath functions
+(any package), flags telemetry entry points outside the zero-alloc
+allowlist (Inc, Add, Set, Dec, Observe, ObserveSince, StartTimer,
+Begin, End, Mark, ElapsedNanos). Diagnostic read-out sites (stats
+endpoints, trace rendering) carry //jellyvet:allow obsconfine -- <why>.`,
+	Run: runObsconfine,
+}
+
+// hotSafeTelemetry is the allocation-free instrument surface a
+// //jellyvet:hotpath function may call; everything else in the
+// telemetry package (constructors, registration, trace extraction,
+// exposition) allocates or locks.
+var hotSafeTelemetry = map[string]bool{
+	"Inc": true, "Add": true, "Set": true, "Dec": true,
+	"Observe": true, "ObserveSince": true, "StartTimer": true,
+	"Begin": true, "End": true, "Mark": true, "ElapsedNanos": true,
+}
+
+func runObsconfine(pass *Pass) {
+	deterministic := IsDeterministicPackage(pass.Pkg.Path())
+
+	type posRange struct{ start, end token.Pos }
+	var hot []posRange
+	for _, fd := range hotpathFuncs(pass.Files) {
+		hot = append(hot, posRange{fd.Pos(), fd.End()})
+	}
+	inHot := func(pos token.Pos) bool {
+		for _, r := range hot {
+			if r.start <= pos && pos < r.end {
+				return true
+			}
+		}
+		return false
+	}
+	if !deterministic && len(hot) == 0 {
+		return
+	}
+
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := telemetryCallee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if inHot(call.Pos()) && !hotSafeTelemetry[fn.Name()] {
+				pass.Reportf(call.Pos(), "telemetry.%s in a //jellyvet:hotpath function: hot paths may only use the zero-alloc instruments (Inc/Add/Set/Dec/Observe/ObserveSince/StartTimer/Begin/End/Mark/ElapsedNanos)", fn.Name())
+			}
+			if !deterministic {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 || resultsAllTelemetry(sig) {
+				return true // nothing escapes, or only inert telemetry values
+			}
+			if len(stack) < 2 {
+				return true
+			}
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+				return true // result discarded
+			case *ast.CallExpr:
+				if telemetryCallee(pass.TypesInfo, parent) != nil {
+					return true // flows straight back into telemetry
+				}
+			case *ast.AssignStmt:
+				if assignSinksAreInert(pass.TypesInfo, parent, call) {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "result of telemetry.%s feeds back into computation; telemetry is one-way in deterministic packages — discard it, pass it to another telemetry call, or carry //jellyvet:allow obsconfine -- <why> on a reviewed read-out site", fn.Name())
+			return true
+		})
+	}
+}
+
+// telemetryCallee returns the called function when call invokes
+// something declared in internal/telemetry (matched by import-path
+// suffix, like the other analyzers, so fixtures in any module work).
+func telemetryCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if !isTelemetryPkgPath(fn.Pkg().Path()) {
+		return nil
+	}
+	return fn
+}
+
+func isTelemetryPkgPath(path string) bool {
+	return path == "internal/telemetry" || strings.HasSuffix(path, "/internal/telemetry")
+}
+
+// isTelemetryType reports whether t is (a pointer to) a type declared
+// in internal/telemetry.
+func isTelemetryType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && isTelemetryPkgPath(pkg.Path())
+}
+
+// resultsAllTelemetry reports whether every result of the signature is
+// a telemetry-declared type — values that cannot perturb computation
+// unless further read, at which point the reading call is checked.
+func resultsAllTelemetry(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if !isTelemetryType(res.At(i).Type()) {
+			return false
+		}
+	}
+	return true
+}
+
+// assignSinksAreInert reports whether the assignment consumes the
+// call's value only into blank identifiers or telemetry-typed
+// variables.
+func assignSinksAreInert(info *types.Info, assign *ast.AssignStmt, call *ast.CallExpr) bool {
+	if len(assign.Rhs) == 1 && assign.Rhs[0] == ast.Expr(call) {
+		// call's results fan out across all LHS slots
+		for _, lhs := range assign.Lhs {
+			if !sinkIsInert(info, lhs) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs == ast.Expr(call) && i < len(assign.Lhs) {
+			return sinkIsInert(info, assign.Lhs[i])
+		}
+	}
+	return false
+}
+
+func sinkIsInert(info *types.Info, lhs ast.Expr) bool {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	t := info.TypeOf(lhs)
+	return t != nil && isTelemetryType(t)
+}

@@ -56,6 +56,11 @@ type Options struct {
 	// batches of sourceBatch trees computed against a length snapshot, so
 	// the result is bit-identical for every Workers value.
 	Workers int
+	// Obs, when non-nil, receives one-way instrumentation (phase/batch
+	// counts, solve and phase durations, flight-recorder spans). It never
+	// influences the computation: results are byte-identical with or
+	// without it. See mcf.Obs.
+	Obs *Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -132,6 +137,7 @@ func FeasibleAtFull(g *graph.Graph, comms []Commodity, opt Options, slack float6
 type solver struct {
 	csr *graph.CSR
 	opt Options
+	obs *Obs // nil-safe one-way telemetry (see Options.Obs)
 
 	// static topology, flattened to CSR so a sweep touches three flat
 	// arrays instead of chasing per-node slice headers
@@ -239,6 +245,7 @@ func newSolver(csr *graph.CSR, comms []Commodity, opt Options) *solver {
 // entirely. Returns false when no effective commodities remain.
 func (s *solver) init(csr *graph.CSR, comms []Commodity, opt Options) bool {
 	s.opt = opt
+	s.obs = opt.Obs
 	s.arcCap = opt.LinkCapacity
 	s.epsilon = opt.Epsilon
 	s.workers = parallel.Workers(opt.Workers)
@@ -449,13 +456,17 @@ func (s *solver) run() Result {
 		// No links at all but demands exist: nothing routable.
 		return Result{Lambda: 0, UpperBound: 0}
 	}
+	solveT := s.obs.solveBegin(len(s.comms))
+	defer s.obs.solveEnd(solveT)
 	bestLB, bestUB := 0.0, math.Inf(1)
 	phases := 0
 	routedPhases := 0.0 // fractional count of full-demand rounds routed
 	restartRhoPrev := 0.0
 	for phases < s.opt.MaxPhases {
 		phases++
+		phaseT := s.obs.phaseBegin(phases)
 		ok := s.phase()
+		s.obs.phaseEnd(phaseT)
 		if !ok {
 			// Some commodity is disconnected: λ = 0. The flow accumulated
 			// before the dead end may already overuse capacity (phases are
@@ -531,7 +542,10 @@ func (s *solver) run() Result {
 		// certify a near-tight bound before any routing happens, which is
 		// what lets an infeasible probe reject after a single phase.
 		if phases == 2 || phases%dualRefreshEvery == 0 || (s.warmed && phases == 1) {
-			if ub := s.dualBound(); ub < bestUB {
+			s.obs.dualBegin()
+			ub := s.dualBound()
+			s.obs.dualEnd()
+			if ub < bestUB {
 				bestUB = ub
 			}
 		}
@@ -602,6 +616,7 @@ func (s *solver) phase() bool {
 			end = len(s.srcList)
 		}
 		s.batchStart = start
+		s.obs.batch()
 		parallel.ForEach(s.workers, end-start, s.sweepFn)
 		for gi := start; gi < end; gi++ {
 			src := s.srcList[gi]

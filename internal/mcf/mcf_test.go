@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"jellyfish/internal/graph"
+	"jellyfish/internal/telemetry"
 )
 
 func ring(n int) *graph.Graph {
@@ -117,6 +118,69 @@ func TestPhaseLoopZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("phase loop allocated %v times per phase, want 0", allocs)
+	}
+}
+
+// The instrumented phase loop must allocate exactly as much as the bare
+// one: nothing. This is the AllocsPerRun pin behind DESIGN.md §15's
+// claim that attaching a fully populated Obs (counters, histograms,
+// flight recorder) costs no allocations on the hot path.
+func TestPhaseLoopZeroAllocsInstrumented(t *testing.T) {
+	g := ring(16)
+	var comms []Commodity
+	for i := 0; i < 16; i++ {
+		comms = append(comms, Commodity{i, (i + 5) % 16, 2})
+	}
+	obs := &Obs{
+		Solves:        &telemetry.Counter{},
+		Phases:        &telemetry.Counter{},
+		Batches:       &telemetry.Counter{},
+		DualRefreshes: &telemetry.Counter{},
+		SolveDur:      &telemetry.Histogram{},
+		PhaseDur:      &telemetry.Histogram{},
+		Rec:           telemetry.NewRecorder(256),
+	}
+	s := newSolver(g.CSR(), comms, Options{Workers: 1, Obs: obs}.withDefaults())
+	s.phase()
+	s.dualBound()
+	allocs := testing.AllocsPerRun(10, func() {
+		pt := s.obs.phaseBegin(1)
+		s.phase()
+		s.obs.phaseEnd(pt)
+		s.obs.dualBegin()
+		s.dualBound()
+		s.obs.dualEnd()
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented phase loop allocated %v times per phase, want 0", allocs)
+	}
+	if obs.Phases.Value() == 0 || obs.Batches.Value() == 0 { //jellyvet:allow obsconfine -- test asserts the instrumentation fired; values never reach solver state
+		t.Fatal("instrumentation recorded no phases/batches")
+	}
+}
+
+// Attaching telemetry must not change any answer: same instance, with
+// and without a populated Obs, identical Result.
+func TestObsDoesNotPerturbResult(t *testing.T) {
+	g := complete(8)
+	var comms []Commodity
+	for i := 0; i < 8; i++ {
+		comms = append(comms, Commodity{i, (i + 3) % 8, 1})
+	}
+	bare := MaxConcurrentFlow(g, comms, Options{Workers: 1})
+	obs := &Obs{
+		Phases:   &telemetry.Counter{},
+		PhaseDur: &telemetry.Histogram{},
+		Rec:      telemetry.NewRecorder(128),
+	}
+	inst := MaxConcurrentFlow(g, comms, Options{Workers: 1, Obs: obs})
+	if bare.Lambda != inst.Lambda || bare.UpperBound != inst.UpperBound || bare.Phases != inst.Phases {
+		t.Fatalf("telemetry perturbed the solve: bare %+v vs instrumented %+v",
+			Result{Lambda: bare.Lambda, UpperBound: bare.UpperBound, Phases: bare.Phases},
+			Result{Lambda: inst.Lambda, UpperBound: inst.UpperBound, Phases: inst.Phases})
+	}
+	if obs.Phases.Value() != int64(inst.Phases) { //jellyvet:allow obsconfine -- test cross-checks the counter against the result; read-out stays in the test
+		t.Fatalf("phase counter %d != result phases %d", obs.Phases.Value(), inst.Phases)
 	}
 }
 

@@ -1,0 +1,84 @@
+package mcf
+
+import "jellyfish/internal/telemetry"
+
+// Obs is the solver's telemetry bundle: shared atomic counters and
+// histograms plus an optional per-goroutine flight recorder. All fields
+// may be nil, and a nil *Obs disables instrumentation entirely — every
+// helper below is a nil-safe no-op, so the solver carries no second
+// code path for "telemetry off".
+//
+// The flow is strictly one-way (telemetry reads clocks and writes
+// atomics, never the reverse; enforced by jellyvet's obsconfine
+// analyzer): nothing the solver computes depends on an Obs value, which
+// is why instrumented and uninstrumented runs are byte-identical.
+//
+// Rec, when set, must be confined to the goroutine running the solve —
+// the scheduler gives each shard worker its own recorder.
+type Obs struct {
+	Solves        *telemetry.Counter // solver runs started
+	Phases        *telemetry.Counter // GK phases executed
+	Batches       *telemetry.Counter // Dijkstra source batches swept
+	DualRefreshes *telemetry.Counter // exact dual certificate recomputations
+	SolveDur      *telemetry.Histogram
+	PhaseDur      *telemetry.Histogram
+	Rec           *telemetry.Recorder // spans: mcf.solve > gk.phase / gk.dual
+}
+
+func (o *Obs) solveBegin(commodities int) telemetry.Timer {
+	if o == nil {
+		return telemetry.Timer{}
+	}
+	o.Solves.Inc()
+	o.Rec.Begin("mcf.solve", int64(commodities))
+	return telemetry.StartTimer()
+}
+
+func (o *Obs) solveEnd(t telemetry.Timer) {
+	if o == nil {
+		return
+	}
+	o.SolveDur.ObserveSince(t)
+	o.Rec.End()
+}
+
+func (o *Obs) phaseBegin(phase int) telemetry.Timer {
+	if o == nil {
+		return telemetry.Timer{}
+	}
+	o.Rec.Begin("gk.phase", int64(phase))
+	return telemetry.StartTimer()
+}
+
+func (o *Obs) phaseEnd(t telemetry.Timer) {
+	if o == nil {
+		return
+	}
+	o.Phases.Inc()
+	o.PhaseDur.ObserveSince(t)
+	o.Rec.End()
+}
+
+func (o *Obs) dualBegin() {
+	if o == nil {
+		return
+	}
+	o.Rec.Begin("gk.dual", 0)
+}
+
+func (o *Obs) dualEnd() {
+	if o == nil {
+		return
+	}
+	o.DualRefreshes.Inc()
+	o.Rec.End()
+}
+
+// batch counts one Dijkstra source batch. Called from the phase loop
+// (//jellyvet:hotpath): a nil check plus one atomic add, no allocation.
+func (o *Obs) batch() {
+	if o == nil {
+		return
+	}
+	o.Batches.Inc()
+}

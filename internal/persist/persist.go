@@ -36,6 +36,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"jellyfish/internal/telemetry"
 )
 
 // The fixed state-directory layout.
@@ -53,13 +55,29 @@ func Digest(b []byte) string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// Obs is the store's telemetry bundle (internal/telemetry): append and
+// snapshot counts and latencies, fed by the store itself so every
+// caller's journal writes are covered. Nil — the default — records
+// nothing; all instruments are nil-safe.
+type Obs struct {
+	Appends     *telemetry.Counter
+	Snapshots   *telemetry.Counter
+	AppendDur   *telemetry.Histogram
+	SnapshotDur *telemetry.Histogram
+}
+
 // A Store is one state directory: journal + snapshot + blobs. Methods
 // are not safe for concurrent use — the caller (the service's job
 // store) serializes access.
 type Store struct {
 	dir string
 	log *Log
+	obs *Obs
 }
+
+// SetObs attaches a telemetry bundle; call before concurrent use. A nil
+// bundle (the default) disables observation.
+func (s *Store) SetObs(o *Obs) { s.obs = o }
 
 // RecoveredState is what Open found on disk: the snapshot bytes (nil if
 // no snapshot has been written) and every complete journal record
@@ -92,7 +110,16 @@ func Open(dir string) (*Store, RecoveredState, error) {
 
 // Append appends one record to the journal. The write reaches the
 // kernel before Append returns (kill -9 safe); it is not fsynced.
-func (s *Store) Append(rec []byte) error { return s.log.Append(rec) }
+func (s *Store) Append(rec []byte) error {
+	if s.obs == nil {
+		return s.log.Append(rec)
+	}
+	t := telemetry.StartTimer()
+	err := s.log.Append(rec)
+	s.obs.Appends.Inc()
+	s.obs.AppendDur.ObserveSince(t)
+	return err
+}
 
 // Sync flushes the journal to stable storage.
 func (s *Store) Sync() error { return s.log.Sync() }
@@ -101,6 +128,13 @@ func (s *Store) Sync() error { return s.log.Sync() }
 // the journal: temp file, fsync, rename, directory fsync, then journal
 // reset. Replay state afterwards is (b, no records).
 func (s *Store) WriteSnapshot(b []byte) error {
+	if s.obs != nil {
+		t := telemetry.StartTimer()
+		defer func() {
+			s.obs.Snapshots.Inc()
+			s.obs.SnapshotDur.ObserveSince(t)
+		}()
+	}
 	path := filepath.Join(s.dir, snapshotName)
 	tmp := path + ".tmp"
 	if err := writeFileSynced(tmp, b); err != nil {

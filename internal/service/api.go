@@ -22,6 +22,7 @@ import (
 	"net/http"
 
 	"jellyfish"
+	"jellyfish/internal/telemetry"
 )
 
 // An apiError is an error with an HTTP mapping; executors return it for
@@ -408,6 +409,16 @@ type TrialEvent struct {
 type StepEvent struct {
 	Op   string     `json:"op"` // "step"
 	Step WhatIfStep `json:"step"`
+}
+
+// TraceResponse is GET /v1/trace/{id}: the span tree a finished job's
+// execution recorded on its shard worker's flight recorder — operation
+// root span, capacity-search probes and trials, solver solves and
+// phases, what-if steps — with wall-clock timings. Diagnostics only:
+// NOT covered by the determinism guarantee, and not persisted.
+type TraceResponse struct {
+	JobID string           `json:"jobId"`
+	Trace *telemetry.Trace `json:"trace"`
 }
 
 // StatsResponse reports scheduler and cache counters (diagnostics; not

@@ -35,7 +35,7 @@ func runCapacityRequest(b *testing.B, srv *Server, req CapacitySearchRequest) {
 	if aerr != nil {
 		b.Fatal(aerr)
 	}
-	if _, err := srv.sched.do(context.Background(), p, true, nil, nil); err != nil {
+	if _, _, err := srv.sched.do(context.Background(), p, true, nil, nil); err != nil {
 		b.Fatal(err)
 	}
 }

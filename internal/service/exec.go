@@ -61,6 +61,7 @@ func planDesign(spec *DesignSpec) (*plan, *apiError) {
 	return &plan{
 		family: "d:" + digest(canon),
 		key:    "design:" + digest(canon),
+		op:     "design",
 		run: func(ctx context.Context, w *worker) (any, error) {
 			top := mat.build()
 			bp, aerr := canonicalBlueprint(top)
@@ -161,8 +162,10 @@ func transportAsset(w *worker, mat materialized, needTopology bool) *simAsset {
 	var a *simAsset
 	if v, ok := w.cache.get(key); ok {
 		w.stats.simHits.Add(1)
+		w.tele.simHits.Inc()
 		a = v.(*simAsset)
 	} else {
+		w.tele.simMisses.Inc()
 		a = &simAsset{sim: flowsim.NewSim(0, mat.servers)}
 		w.cache.put(key, a)
 	}
@@ -225,6 +228,7 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 	return &plan{
 		family: mat.digest,
 		key:    "evaluate:" + digest(canon),
+		op:     "evaluate",
 		run: func(ctx context.Context, w *worker) (any, error) {
 			resp := &EvaluateResponse{Throughputs: make([]float64, 0, req.Trials)}
 			sum := 0.0
@@ -239,6 +243,7 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
+				w.tele.rec.Begin("evaluate.trial", int64(i))
 				var lam float64
 				var bounds *[2]float64
 				switch {
@@ -250,6 +255,7 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 					// throughput so aggregate Min/Mean never overpromise.
 					lo, hi, err := jellyfish.EstimateThroughput(top, req.Estimator.Kind, req.Estimator.Sample, req.Seed+uint64(i))
 					if err != nil {
+						w.tele.rec.End()
 						return nil, err // unreachable: kind validated at plan time
 					}
 					resp.Bounds = append(resp.Bounds, [2]float64{lo, hi})
@@ -258,6 +264,7 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 				default:
 					lam = jellyfish.OptimalThroughput(top, req.Seed+uint64(i), w.solverWorkers)
 				}
+				w.tele.rec.End()
 				resp.Throughputs = append(resp.Throughputs, lam)
 				sum += lam
 				emit(ctx, &TrialEvent{Op: "trial", Trial: i, Throughput: lam, Bounds: bounds})
@@ -297,6 +304,7 @@ func planCapacitySearch(req *CapacitySearchRequest) (*plan, *apiError) {
 	return &plan{
 		family: famKey,
 		key:    "capsearch:" + digest(canon),
+		op:     "capacity-search",
 		run: func(ctx context.Context, w *worker) (any, error) {
 			// The family is the search's reusable warm asset: one
 			// incrementally grown topology per inventory, shared across
@@ -306,11 +314,16 @@ func planCapacitySearch(req *CapacitySearchRequest) (*plan, *apiError) {
 			// as CapacitySearch.Run, just probing the cached family.
 			cs := cs
 			cs.Workers = w.solverWorkers
+			// One-way kernel observability: probe/trial/solve spans land on
+			// this worker's flight recorder, counters on the shared slots.
+			cs.Obs = w.tele.search
 			var fam *jellyfish.SearchFamily
 			if v, ok := w.cache.get(famKey); ok {
 				fam = v.(*jellyfish.SearchFamily)
 				w.stats.familyHits.Add(1)
+				w.tele.familyHits.Inc()
 			} else {
+				w.tele.familyMisses.Inc()
 				var err error
 				if fam, err = cs.NewFamily(); err != nil {
 					return nil, err
@@ -386,6 +399,7 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 	return &plan{
 		family: mat.digest,
 		key:    "whatif:" + digest(canon),
+		op:     "whatif",
 		run: func(ctx context.Context, w *worker) (any, error) {
 			// Resume from the deepest cached checkpoint of this exact
 			// chain; everything before it is bit-identical by key purity.
@@ -430,10 +444,14 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 			var steps []WhatIfStep
 			if resumed >= 0 {
 				w.stats.chainHits.Add(1)
+				w.tele.chainHits.Inc()
 				steps = slices.Clone(cp.steps)
 				ev.SetState(cp.st)
 			} else {
+				w.tele.chainMisses.Inc()
+				w.tele.rec.Begin("whatif.step", 0)
 				lam := ev.OptimalThroughput(top, req.Seed)
+				w.tele.rec.End()
 				steps = []WhatIfStep{stepOf(0, "base", lam)}
 				w.cache.put("chain:"+keys[0], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
 				resumed = 0
@@ -452,7 +470,9 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 				if top.NumServers() == 0 {
 					return nil, badRequest("invalid_scenario", "scenario %d leaves the topology with no servers; throughput is undefined", i-1)
 				}
+				w.tele.rec.Begin("whatif.step", int64(i))
 				lam := ev.OptimalThroughput(top, req.Seed)
+				w.tele.rec.End()
 				steps = append(steps, stepOf(i, desc, lam))
 				w.cache.put("chain:"+keys[i], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
 				emit(ctx, &StepEvent{Op: "step", Step: steps[len(steps)-1]})
@@ -475,6 +495,7 @@ func planRewire(req *RewireRequest) (*plan, *apiError) {
 	return &plan{
 		family: matBefore.digest,
 		key:    "rewire:" + digest(canon),
+		op:     "rewire-plan",
 		run: func(ctx context.Context, w *worker) (any, error) {
 			rp := jellyfish.PlanRewiring(matBefore.build(), matAfter.build())
 			resp := &RewireResponse{

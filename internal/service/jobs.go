@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"jellyfish/internal/persist"
+	"jellyfish/internal/telemetry"
 )
 
 // The async job API: heavy planning operations (capacity searches, long
@@ -54,6 +55,10 @@ type job struct {
 	status   string
 	result   []byte
 	events   [][]byte
+	// trace is the execution's recorded span tree (GET /v1/trace/{id}).
+	// In-memory only: traces are wall-clock diagnostics, deliberately
+	// kept out of the durable store and the determinism guarantee.
+	trace    *telemetry.Trace
 	err      *apiError
 	created  time.Time
 	started  time.Time
@@ -210,7 +215,7 @@ func (js *jobStore) start(sched *scheduler, j *job, p *plan, ctx context.Context
 		}
 		// Jobs skip single-flight (each has its own cancellation scope)
 		// but still hit the response cache on the worker.
-		resp, err := sched.do(ctx, p, false, func() {
+		resp, trace, err := sched.do(ctx, p, false, func() {
 			j.mu.Lock()
 			if j.status == jobQueued {
 				j.status = jobRunning
@@ -219,6 +224,7 @@ func (js *jobStore) start(sched *scheduler, j *job, p *plan, ctx context.Context
 			j.mu.Unlock()
 		}, onEvent)
 		j.mu.Lock()
+		j.trace = trace
 		j.finished = time.Now().UTC() //jellyvet:allow determinism -- job metadata timestamp; never enters a response digest or event payload
 		persist := true
 		switch {

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+
+	"jellyfish/internal/telemetry"
 )
 
 // The scheduler is the serving core: a fixed pool of solver workers, each
@@ -35,7 +37,10 @@ var errSchedulerClosed = errors.New("service: scheduler closed")
 type plan struct {
 	family string
 	key    string
-	run    func(ctx context.Context, w *worker) (any, error)
+	// op names the operation ("design", "evaluate", …) for the per-op
+	// duration series and the root span of the recorded trace.
+	op  string
+	run func(ctx context.Context, w *worker) (any, error)
 }
 
 // A task is one scheduled execution of a plan.
@@ -49,9 +54,13 @@ type task struct {
 	// order) — the live feed behind GET /v1/jobs/{id}/events.
 	onEvent func([]byte)
 
+	// enq marks submission time for the queue-wait histogram.
+	enq telemetry.Timer
+
 	done   chan struct{}
 	resp   []byte
 	events [][]byte
+	trace  *telemetry.Trace
 	err    error
 }
 
@@ -63,6 +72,12 @@ type task struct {
 type cachedResult struct {
 	resp   []byte
 	events [][]byte
+	// trace is the span tree the original execution recorded, shared by
+	// every hit so a cached job's /v1/trace answer matches the cold
+	// run's. Traces are diagnostics, NOT covered by the determinism
+	// guarantee (their durations are wall-clock), which is why they live
+	// beside the guaranteed bytes rather than inside them.
+	trace *telemetry.Trace
 }
 
 type stats struct {
@@ -85,6 +100,9 @@ type worker struct {
 	cache         *lru
 	solverWorkers int
 	stats         *stats
+	// tele is this shard's telemetry (never nil; inert when disabled).
+	// Its flight recorder is confined to this worker's goroutine.
+	tele *workerTele
 	// cacheLen mirrors cache.len() for the stats endpoint (the cache
 	// itself is confined to this worker's goroutine).
 	cacheLen atomic.Int64
@@ -93,6 +111,7 @@ type worker struct {
 type scheduler struct {
 	workers []*worker
 	stats   stats
+	tele    *tele // nil when telemetry is disabled
 
 	mu       sync.Mutex
 	inflight map[string]*task
@@ -103,10 +122,11 @@ type scheduler struct {
 	wg         sync.WaitGroup
 }
 
-func newScheduler(workers, solverWorkers, cacheEntries int) *scheduler {
+func newScheduler(workers, solverWorkers, cacheEntries int, tl *tele) *scheduler {
 	s := &scheduler{
 		workers:  make([]*worker, workers),
 		inflight: make(map[string]*task),
+		tele:     tl,
 	}
 	for i := range s.workers {
 		w := &worker{
@@ -114,6 +134,7 @@ func newScheduler(workers, solverWorkers, cacheEntries int) *scheduler {
 			cache:         newLRU(cacheEntries),
 			solverWorkers: solverWorkers,
 			stats:         &s.stats,
+			tele:          tl.worker(i),
 		}
 		s.workers[i] = w
 		s.wg.Add(1)
@@ -132,13 +153,17 @@ func newScheduler(workers, solverWorkers, cacheEntries int) *scheduler {
 // in-flight execution it was deduplicated onto — completes. ctx is the
 // execution context (checked at dequeue and polled by interruptible
 // executors); dedup enables single-flight coalescing, onStart (optional)
-// fires when execution actually begins on the worker.
-func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func(), onEvent func([]byte)) ([]byte, error) {
+// fires when execution actually begins on the worker. The returned
+// trace is the execution's recorded span tree (nil with telemetry
+// disabled); deduped followers and response-cache hits share the
+// original execution's trace.
+func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func(), onEvent func([]byte)) ([]byte, *telemetry.Trace, error) {
 	t := &task{plan: p, ctx: ctx, dedup: dedup, onStart: onStart, onEvent: onEvent, done: make(chan struct{})}
+	t.enq = telemetry.StartTimer()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, errSchedulerClosed
+		return nil, nil, errSchedulerClosed
 	}
 	if dedup {
 		if prior, ok := s.inflight[p.key]; ok {
@@ -152,7 +177,7 @@ func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func(),
 					onEvent(e)
 				}
 			}
-			return prior.resp, prior.err
+			return prior.resp, prior.trace, prior.err
 		}
 		s.inflight[p.key] = t
 	}
@@ -162,7 +187,7 @@ func (s *scheduler) do(ctx context.Context, p *plan, dedup bool, onStart func(),
 	s.workers[s.shard(p.family)].queue <- t
 	s.submitters.Done()
 	<-t.done
-	return t.resp, t.err
+	return t.resp, t.trace, t.err
 }
 
 // shard maps a topology-family key to its owning worker. Related requests
@@ -185,6 +210,7 @@ func (w *worker) execute(s *scheduler, t *task) {
 		}
 		close(t.done)
 	}()
+	s.tele.queueWaitH().ObserveSince(t.enq)
 	if t.ctx != nil {
 		if err := t.ctx.Err(); err != nil {
 			t.err = err
@@ -194,6 +220,7 @@ func (w *worker) execute(s *scheduler, t *task) {
 	if v, ok := w.cache.get("resp:" + t.key); ok {
 		cr := v.(*cachedResult)
 		w.stats.resultHits.Add(1)
+		w.tele.respHits.Inc()
 		if t.onEvent != nil {
 			for _, e := range cr.events {
 				t.onEvent(e)
@@ -201,13 +228,25 @@ func (w *worker) execute(s *scheduler, t *task) {
 		}
 		t.resp = cr.resp
 		t.events = cr.events
+		t.trace = cr.trace
 		return
 	}
 	w.stats.resultMisses.Add(1)
+	w.tele.respMisses.Inc()
 	if t.onStart != nil {
 		t.onStart()
 	}
+	// Record the execution: a root span named by the operation, with
+	// whatever the executor and the kernels beneath it record nested
+	// inside. The trace is extracted here — on the recorder's own
+	// goroutine, after the work — and is immutable from then on.
+	opT := telemetry.StartTimer()
+	mark := w.tele.rec.Mark()
+	w.tele.rec.Begin(t.op, 0)
 	v, err := runGuarded(t, w)
+	w.tele.rec.End()
+	t.trace = w.tele.rec.TraceSince(mark)
+	s.tele.opDurH(t.op).ObserveSince(opT)
 	if err != nil {
 		t.err = err
 		return
@@ -218,7 +257,7 @@ func (w *worker) execute(s *scheduler, t *task) {
 		return
 	}
 	t.resp = b
-	w.cache.put("resp:"+t.key, &cachedResult{resp: b, events: t.events})
+	w.cache.put("resp:"+t.key, &cachedResult{resp: b, events: t.events, trace: t.trace})
 }
 
 // runGuarded executes a plan, converting a panic into a 500. The shard

@@ -10,6 +10,7 @@ import (
 	"net/http"
 
 	"jellyfish/internal/persist"
+	"jellyfish/internal/telemetry"
 )
 
 // Options configure a Server. Worker count and cache size trade memory
@@ -45,6 +46,12 @@ type Options struct {
 	// appended records the store writes a snapshot and truncates the
 	// journal (default 256). Only meaningful with StateDir.
 	SnapshotEvery int
+	// DisableTelemetry turns the observability surface off: no metric
+	// slots, no flight recorders, GET /metrics answers 404 and
+	// GET /v1/trace/{id} reports trace_not_recorded. Planning responses
+	// are byte-identical either way (asserted in telemetry_test.go) —
+	// telemetry is strictly one-way.
+	DisableTelemetry bool
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +84,9 @@ type Server struct {
 	sched *scheduler
 	jobs  *jobStore
 	mux   *http.ServeMux
+	// tele is the telemetry bundle behind /metrics and /v1/trace (nil
+	// with Options.DisableTelemetry).
+	tele *tele
 	// syncSem admits synchronous planning requests (admission control);
 	// nil = unlimited.
 	syncSem chan struct{}
@@ -90,11 +100,17 @@ type Server struct {
 // that refuses to start.
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
+	var tl *tele
+	if !opt.DisableTelemetry {
+		tl = newTele(opt.Workers)
+	}
 	s := &Server{
-		sched: newScheduler(opt.Workers, opt.SolverWorkers, opt.CacheEntries),
+		sched: newScheduler(opt.Workers, opt.SolverWorkers, opt.CacheEntries, tl),
 		jobs:  newJobStore(),
 		mux:   http.NewServeMux(),
+		tele:  tl,
 	}
+	tl.bindScheduler(s.sched)
 	if opt.MaxSyncInflight > 0 {
 		s.syncSem = make(chan struct{}, opt.MaxSyncInflight)
 	}
@@ -104,16 +120,21 @@ func New(opt Options) (*Server, error) {
 			s.sched.close()
 			return nil, fmt.Errorf("opening state dir %s: %w", opt.StateDir, err)
 		}
+		store.SetObs(tl.storeObs())
 		s.jobs.store = store
 		s.jobs.snapshotEvery = opt.SnapshotEvery
+		replayT := telemetry.StartTimer()
 		if err := s.jobs.recoverJobs(s.sched, state); err != nil {
 			store.Close()
 			s.sched.close()
 			return nil, fmt.Errorf("replaying state dir %s: %w", opt.StateDir, err)
 		}
+		tl.replayH().ObserveSince(replayT)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/design", s.handleDesign)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/capacity-search", s.handleCapacitySearch)
@@ -214,6 +235,47 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.statsSnapshot())
 }
 
+// handleMetrics serves the Prometheus text exposition. Scraping walks
+// fixed registry slots and read-out bridges; it never takes a lock an
+// instrument writer holds, so a scrape cannot stall a solve.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.tele == nil {
+		writeErr(w, &apiError{Status: http.StatusNotFound, Code: "telemetry_disabled",
+			Message: "telemetry is disabled on this daemon"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.tele.reg.WritePrometheus(w)
+}
+
+// handleTrace serves a finished job's recorded span tree — the flight-
+// recorder view of what its execution did (solver phases, probes,
+// chain steps), with wall-clock timings. Traces are diagnostics: they
+// live only in memory (a restarted daemon answers trace_not_recorded
+// for replayed jobs) and are NOT covered by the determinism guarantee.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, aerr := s.jobs.get(r.PathValue("id"))
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	trace := j.trace
+	j.mu.Unlock()
+	if !terminalStatus(status) {
+		writeErr(w, &apiError{Status: http.StatusConflict, Code: "not_finished",
+			Message: fmt.Sprintf("job is %s; traces are available once it finishes", status)})
+		return
+	}
+	if trace == nil {
+		writeErr(w, &apiError{Status: http.StatusNotFound, Code: "trace_not_recorded",
+			Message: "no trace recorded for this job (telemetry disabled, or the job predates this daemon process)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{JobID: j.id, Trace: trace})
+}
+
 // decodeStrict unmarshals a request document, rejecting unknown fields so
 // typos ("trails") fail loudly instead of silently selecting defaults.
 func decodeStrict(data []byte, v any) *apiError {
@@ -276,7 +338,7 @@ func (s *Server) runSync(w http.ResponseWriter, p *plan, aerr *apiError) {
 			return
 		}
 	}
-	resp, err := s.sched.do(context.Background(), p, true, nil, nil)
+	resp, _, err := s.sched.do(context.Background(), p, true, nil, nil)
 	if err != nil {
 		writeSchedErr(w, err)
 		return

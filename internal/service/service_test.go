@@ -433,7 +433,7 @@ func TestExecutorPanicConfinedToRequest(t *testing.T) {
 	boom := &plan{family: "f", key: "boom", run: func(ctx context.Context, w *worker) (any, error) {
 		panic("boom")
 	}}
-	_, err := srv.sched.do(context.Background(), boom, true, nil, nil)
+	_, _, err := srv.sched.do(context.Background(), boom, true, nil, nil)
 	var aerr *apiError
 	if !errors.As(err, &aerr) || aerr.Status != http.StatusInternalServerError ||
 		!strings.Contains(aerr.Message, "executor panic: boom") {
@@ -442,7 +442,7 @@ func TestExecutorPanicConfinedToRequest(t *testing.T) {
 	ok := &plan{family: "f", key: "after", run: func(ctx context.Context, w *worker) (any, error) {
 		return "alive", nil
 	}}
-	resp, err := srv.sched.do(context.Background(), ok, true, nil, nil)
+	resp, _, err := srv.sched.do(context.Background(), ok, true, nil, nil)
 	if err != nil || string(resp) != `"alive"` {
 		t.Fatalf("worker did not survive the panic: resp %s, err %v", resp, err)
 	}

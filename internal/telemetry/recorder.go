@@ -1,0 +1,192 @@
+// The flight recorder: a fixed-capacity ring buffer of completed spans,
+// confined to one goroutine (each scheduler shard worker owns one).
+// Begin/End cost two struct writes and two clock reads — no atomics, no
+// allocation, no locking — which is what lets solver phases and warm-
+// chain steps be recorded from inside kernel loops. Old spans are
+// overwritten, never flushed: like an aircraft flight recorder, the
+// ring always holds the most recent window, and TraceSince reports how
+// many spans the window lost.
+
+package telemetry
+
+import "sort"
+
+// spanRec is one completed span in the ring.
+type spanRec struct {
+	id, parent uint64
+	start, end int64 // monotonic nanoseconds
+	arg        int64
+	name       string
+}
+
+// openSpan is a begun-but-unfinished span on the recorder's stack.
+type openSpan struct {
+	id    uint64
+	start int64
+	arg   int64
+	name  string
+}
+
+// maxOpenSpans bounds span nesting. Begins past this depth are counted
+// as dropped and their matching Ends realign the stack, so a runaway
+// recursion degrades the trace instead of corrupting it.
+const maxOpenSpans = 32
+
+// minRecorderSpans floors the ring capacity.
+const minRecorderSpans = 64
+
+// A Recorder is a per-goroutine flight recorder. It is NOT safe for
+// concurrent use: exactly one goroutine may call Begin/End/Mark/
+// TraceSince (the scheduler gives each shard worker its own). Nil is a
+// valid recorder that discards everything.
+type Recorder struct {
+	ring    []spanRec
+	next    uint64 // completed spans ever written; ring slot = next % len(ring)
+	seq     uint64 // ids handed out by Begin
+	stack   [maxOpenSpans]openSpan
+	depth   int
+	dropped uint64 // Begins lost to stack overflow
+}
+
+// NewRecorder returns a recorder holding the most recent `capacity`
+// completed spans (floored at 64).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < minRecorderSpans {
+		capacity = minRecorderSpans
+	}
+	return &Recorder{ring: make([]spanRec, capacity)}
+}
+
+// Begin opens a span. name should be a constant string (it is stored,
+// not copied); arg is an optional integer annotation (servers probed,
+// phase number, …) rendered into the trace.
+func (r *Recorder) Begin(name string, arg int64) {
+	if r == nil {
+		return
+	}
+	r.depth++
+	if r.depth > maxOpenSpans {
+		r.dropped++
+		return
+	}
+	r.seq++
+	s := &r.stack[r.depth-1]
+	s.id = r.seq
+	s.start = nowNanos()
+	s.arg = arg
+	s.name = name
+}
+
+// End closes the most recently begun span, writing it into the ring.
+// An End with no matching Begin is a no-op.
+func (r *Recorder) End() {
+	if r == nil || r.depth == 0 {
+		return
+	}
+	d := r.depth
+	r.depth--
+	if d > maxOpenSpans {
+		return // the matching Begin was dropped
+	}
+	s := &r.stack[d-1]
+	var parent uint64
+	if d >= 2 {
+		parent = r.stack[d-2].id
+	}
+	w := &r.ring[r.next%uint64(len(r.ring))]
+	w.id, w.parent = s.id, parent
+	w.start, w.end = s.start, nowNanos()
+	w.arg = s.arg
+	w.name = s.name
+	r.next++
+}
+
+// A Mark is a position in a recorder's history; TraceSince(mark)
+// extracts everything recorded after it. The zero Mark means "from the
+// beginning".
+type Mark struct{ next, dropped uint64 }
+
+// Mark captures the recorder's current position.
+func (r *Recorder) Mark() Mark {
+	if r == nil {
+		return Mark{}
+	}
+	return Mark{next: r.next, dropped: r.dropped}
+}
+
+// A Span is one node of an extracted trace tree. Times are nanoseconds
+// relative to the earliest span in the trace.
+type Span struct {
+	Name     string  `json:"name"`
+	Arg      int64   `json:"arg,omitempty"`
+	StartNs  int64   `json:"startNs"`
+	DurNs    int64   `json:"durNs"`
+	Children []*Span `json:"children,omitempty"`
+}
+
+// A Trace is the span tree extracted between a Mark and now. Dropped
+// counts spans lost to ring overwrites or stack overflow in that window
+// — the flight-recorder truncation contract: the most recent spans are
+// always present, the oldest go first.
+type Trace struct {
+	Spans   []*Span `json:"spans"`
+	Dropped int64   `json:"dropped,omitempty"`
+}
+
+// TraceSince builds the span tree for everything recorded after m. It
+// allocates (per span) and must be called off the hot path, on the
+// recorder's own goroutine, after the instrumented work completes. The
+// returned Trace is immutable and safe to share across goroutines.
+func (r *Recorder) TraceSince(m Mark) *Trace {
+	if r == nil {
+		return nil
+	}
+	tr := &Trace{Dropped: int64(r.dropped - m.dropped)}
+	lo := m.next
+	if span := r.next - lo; span > uint64(len(r.ring)) {
+		overwritten := span - uint64(len(r.ring))
+		tr.Dropped += int64(overwritten)
+		lo += overwritten
+	}
+	if lo == r.next {
+		return tr
+	}
+	// Spans are written at End time (close order): children precede
+	// parents. Two passes — materialize, then link.
+	nodes := make(map[uint64]*Span, r.next-lo)
+	recs := make([]spanRec, 0, r.next-lo)
+	minStart := int64(1<<63 - 1)
+	for i := lo; i < r.next; i++ {
+		rec := r.ring[i%uint64(len(r.ring))]
+		recs = append(recs, rec)
+		nodes[rec.id] = &Span{Name: rec.name, Arg: rec.arg, DurNs: rec.end - rec.start}
+		if rec.start < minStart {
+			minStart = rec.start
+		}
+	}
+	for _, rec := range recs {
+		n := nodes[rec.id]
+		n.StartNs = rec.start - minStart
+		if p, ok := nodes[rec.parent]; ok && rec.parent != 0 {
+			p.Children = append(p.Children, n)
+		} else {
+			tr.Spans = append(tr.Spans, n)
+		}
+	}
+	sortSpans(tr.Spans)
+	for _, rec := range recs {
+		sortSpans(nodes[rec.id].Children)
+	}
+	return tr
+}
+
+// sortSpans orders siblings by start time (ties by duration) so the
+// rendered tree reads chronologically.
+func sortSpans(s []*Span) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].StartNs != s[j].StartNs {
+			return s[i].StartNs < s[j].StartNs
+		}
+		return s[i].DurNs < s[j].DurNs
+	})
+}

@@ -314,6 +314,13 @@ type CapacitySearch struct {
 	// EstimatorSample is the sampled-mcf commodity subsample size
 	// (0 selects the default; ignored by the other estimator kinds).
 	EstimatorSample int
+	// Obs, when non-nil, attaches one-way diagnostics instrumentation
+	// (probe/trial/solver-phase spans and counters — see capsearch.Obs)
+	// to the search. Telemetry never feeds back into the search: results
+	// are identical with or without it, and external callers can simply
+	// leave it nil. The planning service uses it to serve per-job span
+	// trees on /v1/trace.
+	Obs *capsearch.Obs
 }
 
 // Validate checks the search configuration, returning a typed
@@ -422,6 +429,7 @@ func (c CapacitySearch) RunOnFamilyObserved(fam *SearchFamily, interrupt func() 
 		Estimator: est,
 		Interrupt: interrupt,
 		Probe:     probe,
+		Obs:       c.Obs,
 	})
 }
 
