@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128] [-max-sync 32] [-state-dir DIR] [-debug-addr :6060] [-no-telemetry]
+//	jellyfishd [-addr :8080] [-workers 4] [-solver-workers 1] [-cache 128] [-max-sync 32] [-state-dir DIR] [-debug-addr :6060] [-no-telemetry] [-client-qps N] [-faultinject SCHEDULE]
 //
 // Endpoints (all request/response bodies are JSON unless noted):
 //
@@ -58,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"jellyfish/internal/faultinject"
 	"jellyfish/internal/service"
 )
 
@@ -70,7 +71,20 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for the durable job store (empty = memory-only); replayed on boot so jobs survive restarts")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for Go pprof handlers at /debug/pprof/ (empty = disabled; bind to loopback, e.g. 127.0.0.1:6060)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable the observability surface (/metrics, /v1/trace, flight recorders); responses are identical either way")
+	clientQPS := flag.Float64("client-qps", 0, "per-client quota on work-creating endpoints, requests/second (0 = disabled); exceeded clients get 429 + Retry-After")
+	clientBurst := flag.Int("client-burst", 0, "per-client quota bucket depth (0 = client-qps+1)")
+	faultSchedule := flag.String("faultinject", os.Getenv("JELLYFISHD_FAULTINJECT"),
+		"deterministic fault schedule for chaos testing, e.g. persist.append:3-2:enospc (see internal/faultinject; default from JELLYFISHD_FAULTINJECT; empty = disabled)")
 	flag.Parse()
+
+	if *faultSchedule != "" {
+		deactivate, err := faultinject.Activate(*faultSchedule)
+		if err != nil {
+			log.Fatalf("jellyfishd: -faultinject: %v", err)
+		}
+		defer deactivate()
+		log.Printf("jellyfishd: FAULT INJECTION ACTIVE: %s", *faultSchedule)
+	}
 
 	srv, err := service.New(service.Options{
 		Workers:          *workers,
@@ -79,6 +93,8 @@ func main() {
 		MaxSyncInflight:  *maxSync,
 		StateDir:         *stateDir,
 		DisableTelemetry: *noTelemetry,
+		ClientQPS:        *clientQPS,
+		ClientBurst:      *clientBurst,
 	})
 	if err != nil {
 		log.Fatalf("jellyfishd: %v", err)

@@ -153,3 +153,70 @@ curl -fsS "$BASE/v1/jobs/$ID" | head -c 200; echo " ..."
 
 echo "== scheduler stats"
 curl -fsS "$BASE/v1/stats"; echo
+
+# ---------------------------------------------------------------------
+# Failure-containment walkthrough (DESIGN.md §16): per-client quotas,
+# bounded-latency cancellation, and failpoint-driven degraded mode.
+# Restart the daemon with quotas on and a seeded fault schedule: the
+# third journal append of this run will fail once, as if the disk
+# filled at exactly that write. Fault schedules are deterministic —
+# same schedule + same request sequence = same failure, every run.
+kill "$DAEMON" 2>/dev/null
+wait "$DAEMON" 2>/dev/null || true
+echo "== restart with -client-qps 1 -client-burst 2 and a seeded failpoint"
+/tmp/jellyfishd -addr "$ADDR" -workers 2 -state-dir "$STATE" \
+	-client-qps 1 -client-burst 2 -faultinject 'persist.append:3-1:enospc' &
+DAEMON=$!
+for i in $(seq 1 50); do
+	curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+
+# Quotas meter only the endpoints that create work (sync planning, job
+# submission); reads are never shed. Burst 2: two requests pass, the
+# third gets 429 with a Retry-After hint (deterministically jittered
+# per client, so a rejected herd does not re-arrive in one wave).
+echo "== quota: two requests within burst, then a 429"
+DESIGN='{"switches":20,"ports":6,"networkDegree":4,"seed":5}'
+curl -fsS "$BASE/v1/design" -d "$DESIGN" >/dev/null && echo "request 1: ok"
+curl -fsS "$BASE/v1/design" -d "$DESIGN" >/dev/null && echo "request 2: ok"
+curl -sS -D - -o /dev/null "$BASE/v1/design" -d "$DESIGN" |
+	grep -E '^(HTTP|Retry-After)' | tr -d '\r'
+curl -fsS "$BASE/v1/jobs" >/dev/null && echo "reads stay unmetered"
+sleep 2 # ~2 tokens refill at 1 qps
+
+# Bounded-latency cancellation: kernels poll for cancellation at phase
+# boundaries (GK solver per phase, simulators per round / per 1024
+# events, searches per trial), so a cancel lands promptly even mid-solve
+# — and a cancelled run leaves nothing truncated in any cache.
+echo "== cancel a search mid-run"
+JOB3=$(curl -fsS "$BASE/v1/jobs" \
+	-d '{"type":"capacity-search","request":{"switches":45,"ports":6,"trials":3,"seed":23}}')
+ID3=$(echo "$JOB3" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+curl -fsS "$BASE/v1/jobs/$ID3/cancel" -X POST -d '' >/dev/null
+while :; do
+	VIEW=$(curl -fsS "$BASE/v1/jobs/$ID3")
+	case "$VIEW" in
+	*'"status":"succeeded"'* | *'"status":"failed"'* | *'"status":"cancelled"'*) break ;;
+	esac
+	sleep 0.2
+done
+echo "$VIEW" | head -c 200; echo
+
+# Degraded mode: the seeded failpoint fires on this submission's journal
+# append. The daemon refuses with 503/degraded rather than acknowledge a
+# job a restart would forget, flips read-only, and keeps serving reads.
+# No operator action needed: the retry's own append is the recovery
+# probe — it succeeds, the store snapshots, durability is restored.
+echo "== degraded mode: submit hits the injected append failure"
+SUBMIT='{"type":"design","request":{"switches":20,"ports":6,"networkDegree":4,"seed":5}}'
+sleep 1 # one quota token back
+curl -sS -o /dev/null -w 'submit: HTTP %{http_code}\n' "$BASE/v1/jobs" -d "$SUBMIT"
+curl -fsS "$BASE/healthz"; echo " (alive, read-only)"
+sleep 1
+echo "== retry: the append succeeds and recovery is automatic"
+curl -sS -o /dev/null -w 'retry:  HTTP %{http_code}\n' "$BASE/v1/jobs" -d "$SUBMIT"
+curl -fsS "$BASE/healthz"; echo
+# The containment counters tell the story on /metrics:
+curl -fsS "$BASE/metrics" |
+	grep -E '^jellyfishd_(degraded|degraded_transitions_total|quota_rejected_total|faultinject_fires_total|panics_contained_total) '

@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"jellyfish/internal/estimate"
+	"jellyfish/internal/faultinject"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/rng"
 	"jellyfish/internal/topology"
@@ -184,11 +185,14 @@ type Config struct {
 	// bracket is always confirmed by exact solves. Estimators are not
 	// safe for concurrent use — give each search its own.
 	Estimator estimate.ThroughputEstimator
-	// Interrupt, when non-nil, is polled between trial solves; returning
-	// true abandons the search (MaxServers returns ErrInterrupted). This
-	// is the cancellation hook for long-running service jobs: solves are
-	// never torn down mid-phase, so a fired interrupt costs at most one
-	// trial solve of latency and leaves all warm state coherent.
+	// Interrupt, when non-nil, is polled between trial solves AND once
+	// per GK phase inside each solve (threaded into the trial solvers
+	// as mcf.Options.Interrupt); returning true abandons the search
+	// (MaxServers returns ErrInterrupted). This is the cancellation
+	// hook for long-running service jobs: a fired interrupt costs at
+	// most the GK phase in flight, and warm state stays coherent —
+	// truncated solver states are rejected by the warm-start maturity
+	// gate, and the search result is discarded outright.
 	Interrupt func() bool
 	// Probe, when non-nil, observes each completed feasibility probe in
 	// execution order — the streaming-progress hook for service jobs.
@@ -281,6 +285,13 @@ func newProber(cfg Config) *prober {
 	opt := cfg.Solver
 	opt.Workers = cfg.Workers
 	opt.Obs = cfg.Obs.solverObs()
+	// Bounded-latency cancellation: the same poll the probe loop uses
+	// runs once per GK phase inside every trial solve, and inside the
+	// sampled-MCF estimator's screening solves when one is attached.
+	opt.Interrupt = cfg.Interrupt
+	if est, ok := cfg.Estimator.(estimate.Interruptible); ok && cfg.Interrupt != nil {
+		est.SetInterrupt(cfg.Interrupt)
+	}
 	p := &prober{
 		cfg:     cfg,
 		solvers: make([]*mcf.Solver, cfg.Trials),
@@ -302,7 +313,16 @@ func (p *prober) feasible(servers int) (bool, error) {
 		if p.cfg.Interrupt != nil && p.cfg.Interrupt() {
 			return false, ErrInterrupted
 		}
-		if !p.trial(i, top, assign) {
+		ok := p.trial(i, top, assign)
+		// The interrupt also threads into the trial's solver (one poll
+		// per GK phase). A truncated solve returns sound but premature
+		// certificates — feasible traffic could read as infeasible — so
+		// re-poll before trusting the verdict: a fired interrupt
+		// discards the tainted trial instead of misreading it.
+		if p.cfg.Interrupt != nil && p.cfg.Interrupt() {
+			return false, ErrInterrupted
+		}
+		if !ok {
 			p.observe(servers, false)
 			return false, nil
 		}
@@ -350,6 +370,12 @@ func (p *prober) predict() int {
 // trial advances trial i's chain through the probe at the given topology,
 // reporting whether the permutation is supported at full rate.
 func (p *prober) trial(i int, top *topology.Topology, assign []int) bool {
+	if faultinject.Enabled() {
+		// Chaos hook for the panic-containment suite: the trial boundary
+		// is where a mid-probe kernel panic is injected (the panic shape;
+		// error shapes are meaningless here and ignored).
+		_ = faultinject.Fire("capsearch.trial")
+	}
 	p.cfg.Obs.trialBegin(i)
 	defer p.cfg.Obs.trialEnd()
 	comms := cycleCommodities(assign, p.cfg.Traffic.SplitN("trial", i))

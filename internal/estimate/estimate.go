@@ -42,6 +42,17 @@ type ThroughputEstimator interface {
 	Estimate(c *topology.Compact, comms []mcf.Commodity) Bounds
 }
 
+// Interruptible is implemented by estimators whose Estimate can be
+// cooperatively cancelled mid-computation (today: sampled-mcf, whose
+// phase-capped solves poll once per GK phase). A fired interrupt makes
+// the in-flight Estimate return early with a soundly-loose bracket;
+// callers that interrupt must discard the result anyway. With the poll
+// unset — or never firing — results are byte-identical to an estimator
+// without one.
+type Interruptible interface {
+	SetInterrupt(func() bool)
+}
+
 // Kinds lists the available estimator kinds, in documentation order.
 func Kinds() []string { return []string{"bisection", "spectral", "sampled-mcf"} }
 

@@ -25,19 +25,24 @@ import (
 // certificate callers can replay.
 type sampledEstimator struct {
 	core
-	sample int
-	sub    []mcf.Commodity
-	idx    []int
+	sample    int
+	sub       []mcf.Commodity
+	idx       []int
+	interrupt func() bool
 }
 
-// sampledSolveOptions is the coarse solver configuration for estimator
+// SetInterrupt installs the cooperative cancellation poll threaded into
+// this estimator's phase-capped solves (see estimate.Interruptible).
+func (e *sampledEstimator) SetInterrupt(f func() bool) { e.interrupt = f }
+
+// solveOptions is the coarse solver configuration for estimator
 // solves. The GK dual certificate is valid at every phase, not only at
 // convergence, so capping phases and widening the step size keeps both
 // bounds sound — the bracket just gets looser. The cap is what holds the
 // estimator to interactive latency at megascale (a default 3000-phase
 // solve on a 10k-switch instance runs minutes; 64 phases runs seconds).
-func sampledSolveOptions() mcf.Options {
-	return mcf.Options{Workers: 1, Epsilon: 0.25, Tol: 0.1, MaxPhases: 64}
+func (e *sampledEstimator) solveOptions() mcf.Options {
+	return mcf.Options{Workers: 1, Epsilon: 0.25, Tol: 0.1, MaxPhases: 64, Interrupt: e.interrupt}
 }
 
 func (e *sampledEstimator) Name() string { return "sampled-mcf" }
@@ -61,7 +66,7 @@ func (e *sampledEstimator) Estimate(t *topology.Compact, comms []mcf.Commodity) 
 	if k == len(e.eff) {
 		// Subsample is the whole instance: the (phase-capped) solve runs
 		// on the full program, so both certificates come from it.
-		res := mcf.MaxConcurrentFlowCSR(csr, e.eff, sampledSolveOptions())
+		res := mcf.MaxConcurrentFlowCSR(csr, e.eff, e.solveOptions())
 		if res.UpperBound < upper {
 			upper = res.UpperBound
 			upperCert = fmt.Sprintf("MCF dual (all %d commodities)", len(e.eff))
@@ -93,7 +98,7 @@ func (e *sampledEstimator) Estimate(t *topology.Compact, comms []mcf.Commodity) 
 	for _, i := range e.idx {
 		e.sub = append(e.sub, e.eff[i])
 	}
-	res := mcf.MaxConcurrentFlowCSR(csr, e.sub, sampledSolveOptions())
+	res := mcf.MaxConcurrentFlowCSR(csr, e.sub, e.solveOptions())
 	if res.UpperBound < upper {
 		upper = res.UpperBound
 		upperCert = fmt.Sprintf("MCF dual on seeded subsample (%d of %d commodities, seed %d); λ*(full) ≤ λ*(subsample) ≤ dual",

@@ -1,0 +1,236 @@
+// Package faultinject is jellyfishd's deterministic failpoint registry
+// (DESIGN.md §16). Production code declares named sites at the places
+// that can actually fail — journal appends, snapshot renames, blob
+// writes, scheduler dequeues, SSE frame writes, capacity-search trial
+// boundaries — and a fault *schedule* activated at process start (or
+// per-test) decides which hits of which sites fail, and how.
+//
+// The schedule grammar is a comma-separated list of entries:
+//
+//	site:trigger[-count]:shape
+//
+// where trigger is the 1-based hit number at which the site starts
+// firing, count is how many consecutive hits fire (omitted = forever),
+// and shape is one of:
+//
+//	enospc     return an error wrapping syscall.ENOSPC
+//	eio        return an error wrapping syscall.EIO
+//	err        return ErrInjected
+//	shortwrite return an error wrapping io.ErrShortWrite; write sites
+//	           additionally truncate the write partway (Fault.ShortWrite)
+//	panic      panic with a recognizable faultinject message
+//	stall      sleep StallDuration, then continue normally
+//
+// Example: "persist.append:3-2:enospc,sse.write:1:err" makes the 3rd
+// and 4th journal appends fail with ENOSPC and every SSE frame write
+// fail with ErrInjected.
+//
+// Determinism: hit counting is per-site and per-activation, so a fixed
+// schedule against a fixed request sequence fires at exactly the same
+// operations every run. When no schedule is active every entry point is
+// a single atomic load returning the zero value — no locks, no
+// allocations, no branches taken — which is what keeps the registry
+// jellyvet-clean and admissible near (never inside, see the
+// faultconfine analyzer) deterministic hot loops.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the error returned by the generic "err" shape.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// StallDuration is how long the "stall" shape sleeps. It is a variable
+// so tests can shrink it; production schedules use the default.
+var StallDuration = 50 * time.Millisecond
+
+// A Fault describes one firing of a failpoint.
+type Fault struct {
+	// Err is non-nil for the error shapes (enospc, eio, err,
+	// shortwrite). It wraps the corresponding sentinel.
+	Err error
+	// ShortWrite marks the shortwrite shape: write sites should write
+	// a truncated prefix before returning Err, exercising torn-write
+	// recovery instead of clean failure.
+	ShortWrite bool
+	// Panic marks the panic shape: the site (or Fire on its behalf)
+	// must panic.
+	Panic bool
+	// Stall marks the stall shape: the site (or Fire) sleeps
+	// StallDuration and then proceeds normally.
+	Stall bool
+	site  string
+}
+
+// PanicMessage is the value a panic-shape firing panics with;
+// recover handlers can match the prefix to recognize injected panics.
+func (f Fault) PanicMessage() string {
+	return "faultinject: injected panic at " + f.site
+}
+
+type rule struct {
+	from  uint64 // 1-based hit number of the first firing
+	count uint64 // firings; 0 = forever
+	shape string
+	hits  atomic.Uint64
+}
+
+type registry struct {
+	rules map[string][]*rule
+}
+
+var (
+	active atomic.Pointer[registry]
+	fires  atomic.Uint64
+)
+
+// Enabled reports whether a fault schedule is active. It is the
+// disabled-fast-path guard: a single atomic load.
+func Enabled() bool { return active.Load() != nil }
+
+// FireCount returns the number of failpoint firings since process
+// start (across activations); bridged into /metrics by the service.
+func FireCount() uint64 { return fires.Load() }
+
+// Hit records one hit of the named site and reports whether a
+// scheduled fault fires on it. When no schedule is active it is a
+// single atomic load. Sites with special behavior (short writes)
+// inspect the returned Fault; plain sites can use Fire instead.
+func Hit(site string) (Fault, bool) {
+	reg := active.Load()
+	if reg == nil {
+		return Fault{}, false
+	}
+	rules := reg.rules[site]
+	if len(rules) == 0 {
+		return Fault{}, false
+	}
+	var firing *rule
+	for _, r := range rules {
+		// Every rule counts every hit of its site, even when an
+		// earlier rule fires on it — otherwise later rules' triggers
+		// would drift by the number of earlier firings.
+		n := r.hits.Add(1)
+		if n < r.from || (r.count != 0 && n >= r.from+r.count) {
+			continue
+		}
+		if firing == nil {
+			firing = r
+		}
+	}
+	if firing == nil {
+		return Fault{}, false
+	}
+	fires.Add(1)
+	return makeFault(site, firing.shape), true
+}
+
+// Fire is the convenience form of Hit for sites without special write
+// semantics: it panics on the panic shape, sleeps on the stall shape,
+// and otherwise returns the fault's error (nil when nothing fires).
+func Fire(site string) error {
+	f, ok := Hit(site)
+	if !ok {
+		return nil
+	}
+	if f.Panic {
+		panic(f.PanicMessage())
+	}
+	if f.Stall {
+		time.Sleep(StallDuration)
+		return nil
+	}
+	return f.Err
+}
+
+func makeFault(site, shape string) Fault {
+	f := Fault{site: site}
+	switch shape {
+	case "enospc":
+		f.Err = fmt.Errorf("faultinject: %s: %w", site, syscall.ENOSPC)
+	case "eio":
+		f.Err = fmt.Errorf("faultinject: %s: %w", site, syscall.EIO)
+	case "err":
+		f.Err = fmt.Errorf("faultinject: %s: %w", site, ErrInjected)
+	case "shortwrite":
+		f.Err = fmt.Errorf("faultinject: %s: %w", site, io.ErrShortWrite)
+		f.ShortWrite = true
+	case "panic":
+		f.Panic = true
+	case "stall":
+		f.Stall = true
+	}
+	return f
+}
+
+var validShapes = map[string]bool{
+	"enospc": true, "eio": true, "err": true,
+	"shortwrite": true, "panic": true, "stall": true,
+}
+
+// Activate parses a schedule and installs it, returning a deactivate
+// function. Exactly one schedule may be active at a time; activating
+// over a live schedule is an error (tests defer the deactivate).
+func Activate(schedule string) (func(), error) {
+	reg, err := parse(schedule)
+	if err != nil {
+		return nil, err
+	}
+	if !active.CompareAndSwap(nil, reg) {
+		return nil, errors.New("faultinject: a schedule is already active")
+	}
+	return func() { active.CompareAndSwap(reg, nil) }, nil
+}
+
+func parse(schedule string) (*registry, error) {
+	reg := &registry{rules: make(map[string][]*rule)}
+	entries := strings.Split(schedule, ",")
+	if strings.TrimSpace(schedule) == "" {
+		return nil, errors.New("faultinject: empty schedule")
+	}
+	for _, e := range entries {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		// site names may themselves contain dots but not colons.
+		parts := strings.Split(e, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("faultinject: entry %q: want site:trigger[-count]:shape", e)
+		}
+		site, trig, shape := parts[0], parts[1], parts[2]
+		if site == "" {
+			return nil, fmt.Errorf("faultinject: entry %q: empty site", e)
+		}
+		if !validShapes[shape] {
+			return nil, fmt.Errorf("faultinject: entry %q: unknown shape %q", e, shape)
+		}
+		r := &rule{count: 0, shape: shape}
+		trigStr, countStr, hasCount := strings.Cut(trig, "-")
+		from, err := strconv.ParseUint(trigStr, 10, 64)
+		if err != nil || from == 0 {
+			return nil, fmt.Errorf("faultinject: entry %q: trigger must be a positive hit number", e)
+		}
+		r.from = from
+		if hasCount {
+			count, err := strconv.ParseUint(countStr, 10, 64)
+			if err != nil || count == 0 {
+				return nil, fmt.Errorf("faultinject: entry %q: count must be a positive firing count", e)
+			}
+			r.count = count
+		}
+		reg.rules[site] = append(reg.rules[site], r)
+	}
+	if len(reg.rules) == 0 {
+		return nil, errors.New("faultinject: empty schedule")
+	}
+	return reg, nil
+}

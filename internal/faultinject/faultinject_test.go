@@ -1,0 +1,200 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no schedule active, Enabled() = true")
+	}
+	if f, ok := Hit("persist.append"); ok {
+		t.Fatalf("Hit fired with no schedule: %+v", f)
+	}
+	if err := Fire("persist.append"); err != nil {
+		t.Fatalf("Fire with no schedule: %v", err)
+	}
+}
+
+func TestTriggerWindow(t *testing.T) {
+	deactivate, err := Activate("persist.append:3-2:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	if !Enabled() {
+		t.Fatal("Enabled() = false with active schedule")
+	}
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if _, ok := Hit("persist.append"); ok {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [3 4]", fired)
+	}
+}
+
+func TestForeverWhenCountOmitted(t *testing.T) {
+	deactivate, err := Activate("sse.write:2:err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	if err := Fire("sse.write"); err != nil {
+		t.Fatalf("hit 1 fired: %v", err)
+	}
+	for i := 2; i <= 5; i++ {
+		if err := Fire("sse.write"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	deactivate, err := Activate("a:1:enospc,b:1:eio,c:1:shortwrite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	f, ok := Hit("a")
+	if !ok || !errors.Is(f.Err, syscall.ENOSPC) {
+		t.Fatalf("enospc shape: %+v ok=%v", f, ok)
+	}
+	f, ok = Hit("b")
+	if !ok || !errors.Is(f.Err, syscall.EIO) {
+		t.Fatalf("eio shape: %+v ok=%v", f, ok)
+	}
+	f, ok = Hit("c")
+	if !ok || !f.ShortWrite || !errors.Is(f.Err, io.ErrShortWrite) {
+		t.Fatalf("shortwrite shape: %+v ok=%v", f, ok)
+	}
+}
+
+func TestPanicShape(t *testing.T) {
+	deactivate, err := Activate("capsearch.trial:1:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Fire did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.HasPrefix(msg, "faultinject: injected panic at capsearch.trial") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	_ = Fire("capsearch.trial")
+}
+
+func TestStallShape(t *testing.T) {
+	old := StallDuration
+	StallDuration = 10 * time.Millisecond
+	defer func() { StallDuration = old }()
+	deactivate, err := Activate("sched.worker.stall:1:stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	start := time.Now()
+	if err := Fire("sched.worker.stall"); err != nil {
+		t.Fatalf("stall returned error: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("stall slept %v, want >= 10ms", d)
+	}
+}
+
+func TestUnknownSiteNeverFires(t *testing.T) {
+	deactivate, err := Activate("persist.append:1:err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	if err := Fire("persist.snapshot.rename"); err != nil {
+		t.Fatalf("unscheduled site fired: %v", err)
+	}
+}
+
+func TestDoubleActivateRejected(t *testing.T) {
+	deactivate, err := Activate("a:1:err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	if _, err := Activate("b:1:err"); err == nil {
+		t.Fatal("second Activate succeeded over a live schedule")
+	}
+}
+
+func TestDeterministicAcrossActivations(t *testing.T) {
+	run := func() []int {
+		deactivate, err := Activate("x:2-3:err")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer deactivate()
+		var fired []int
+		for i := 1; i <= 8; i++ {
+			if _, ok := Hit("x"); ok {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"persist.append",
+		"persist.append:1",
+		"persist.append:0:err",
+		"persist.append:1-0:err",
+		"persist.append:one:err",
+		"persist.append:1:explode",
+		":1:err",
+		"a:1:err,b:bad:err",
+	}
+	for _, s := range bad {
+		if _, err := Activate(s); err == nil {
+			t.Fatalf("Activate(%q) accepted a bad schedule", s)
+		}
+	}
+}
+
+func TestMultipleRulesSameSite(t *testing.T) {
+	deactivate, err := Activate("s:1-1:err,s:3-1:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deactivate()
+	if err := Fire("s"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 1: %v", err)
+	}
+	if err := Fire("s"); err != nil {
+		t.Fatalf("hit 2: %v", err)
+	}
+	if err := Fire("s"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("hit 3: %v", err)
+	}
+}

@@ -167,7 +167,20 @@ type Sim struct {
 
 	rates []float64
 	local []bool
+
+	// interrupt, when set, is polled once per filling round; a firing
+	// poll stops the simulation early with partial rates. Callers that
+	// interrupt must discard the Result (the service checks ctx.Err()
+	// after every kernel call). Nil — or never firing — leaves results
+	// byte-identical; the poll itself allocates nothing.
+	interrupt func() bool
 }
+
+// SetInterrupt installs (nil clears) the cooperative cancellation poll
+// (see the interrupt field). Confinement note: a Sim cached as warm
+// state is owned by one shard worker, which sets the poll before a job
+// and clears it after — never concurrently with Simulate.
+func (s *Sim) SetInterrupt(f func() bool) { s.interrupt = f }
 
 // NewSim returns a Sim pre-sized for the given switch and server counts.
 // Both are lower bounds — the arena grows on demand — so a Sim built for
@@ -345,6 +358,9 @@ func (s *Sim) simulateSubflows(flows []traffic.Flow, table *routing.Table, proto
 	level := 0.0
 	remaining := nsub
 	for remaining > 0 {
+		if s.interrupt != nil && s.interrupt() {
+			break // cancelled: partial rates, discarded by the caller
+		}
 		// Bottleneck increment over live resources, compacting out the
 		// drained ones (count == 0 ⇔ no unfrozen subflow touches it).
 		minInc := -1.0
@@ -483,6 +499,9 @@ func (s *Sim) simulateCoupled(flows []traffic.Flow, table *routing.Table) Result
 	for rounds := 0; ; rounds++ {
 		if rounds > roundCap {
 			break // numerical safety net; never reached in practice
+		}
+		if s.interrupt != nil && s.interrupt() {
+			break // cancelled: partial rates, discarded by the caller
 		}
 		// Recompute active routes and per-resource counts.
 		for i := range s.fcount {

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Faultconfine enforces the failpoint confinement contract (DESIGN.md
+// §16) that keeps deterministic fault injection out of the kernels'
+// steady state: with no schedule active, faultinject must cost one
+// atomic load per *site*, not one per loop iteration.
+//
+// In the declared deterministic packages — and in //jellyvet:hotpath
+// functions anywhere — every call into internal/faultinject other than
+// Enabled() must sit lexically inside the body of an if statement whose
+// condition calls faultinject.Enabled(). Hit and Fire take the
+// registry's rule path on every invocation; only the Enabled() guard
+// makes the disabled case a single branch-not-taken, which is what
+// keeps failpoint-bearing code admissible near hot loops and what the
+// faults-off byte-identity argument rests on.
+var Faultconfine = &Analyzer{
+	Name: "faultconfine",
+	Doc: `keep failpoints behind the Enabled() guard in deterministic packages
+
+In packages declared deterministic (lint.DeterministicPackages) and in
+//jellyvet:hotpath functions (any package), flags calls into
+internal/faultinject (Hit, Fire, Activate, ...) that are not lexically
+guarded by "if faultinject.Enabled() { ... }". The guard is the
+zero-cost disabled path: one atomic load and a branch, no rule lookup,
+no hit counting. Enabled() itself is always admissible. Reviewed
+exceptions carry //jellyvet:allow faultconfine -- <why>.`,
+	Run: runFaultconfine,
+}
+
+func runFaultconfine(pass *Pass) {
+	deterministic := IsDeterministicPackage(pass.Pkg.Path())
+
+	type posRange struct{ start, end token.Pos }
+	var hot []posRange
+	for _, fd := range hotpathFuncs(pass.Files) {
+		hot = append(hot, posRange{fd.Pos(), fd.End()})
+	}
+	inHot := func(pos token.Pos) bool {
+		for _, r := range hot {
+			if r.start <= pos && pos < r.end {
+				return true
+			}
+		}
+		return false
+	}
+	if !deterministic && len(hot) == 0 {
+		return
+	}
+
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := faultinjectCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Name() == "Enabled" {
+				return true
+			}
+			if !deterministic && !inHot(call.Pos()) {
+				return true
+			}
+			if enabledGuarded(pass.TypesInfo, stack, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "faultinject.%s outside an `if faultinject.Enabled()` guard: the guard is the zero-cost disabled path required in deterministic packages and hot paths", fn.Name())
+			return true
+		})
+	}
+}
+
+// enabledGuarded reports whether pos sits inside the body of an
+// ancestor if statement whose condition calls faultinject.Enabled().
+func enabledGuarded(info *types.Info, stack []ast.Node, pos token.Pos) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if !(ifs.Body.Pos() <= pos && pos < ifs.Body.End()) {
+			continue
+		}
+		if condCallsEnabled(info, ifs.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// condCallsEnabled reports whether the expression contains a call to
+// faultinject.Enabled.
+func condCallsEnabled(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := faultinjectCallee(info, call); fn != nil && fn.Name() == "Enabled" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// faultinjectCallee returns the called function when call invokes
+// something declared in internal/faultinject (matched by import-path
+// suffix, like the other analyzers, so fixtures in any module work).
+func faultinjectCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if !isFaultinjectPkgPath(fn.Pkg().Path()) {
+		return nil
+	}
+	return fn
+}
+
+func isFaultinjectPkgPath(path string) bool {
+	return path == "internal/faultinject" || strings.HasSuffix(path, "/internal/faultinject")
+}

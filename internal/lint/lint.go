@@ -4,12 +4,12 @@
 // `go list -export` and the standard library's gc export-data importer.
 //
 // Why not x/tools? The module is dependency-free by policy (go.mod has no
-// requirements), and the four analyzers need only syntax, types, and
+// requirements), and the analyzers need only syntax, types, and
 // comments — all of which the standard library provides. The framework
 // mirrors the x/tools API shape closely enough that migrating to the real
 // multichecker later is mechanical.
 //
-// The analyzers encode the repository's three load-bearing invariants as
+// The analyzers encode the repository's load-bearing invariants as
 // build-breaking diagnostics (DESIGN.md §12):
 //
 //   - determinism: byte-identical output across worker counts — no map
@@ -18,7 +18,11 @@
 //   - hotpath (+ rngstream): zero steady-state allocations and explicit
 //     random-stream consumption in the //jellyvet:hotpath kernels;
 //   - confinement: //jellyvet:confined warm-state types never escape
-//     their owning shard worker.
+//     their owning shard worker;
+//   - obsconfine: telemetry stays one-way in deterministic packages and
+//     zero-alloc in hot paths (DESIGN.md §15);
+//   - faultconfine: failpoints stay behind the faultinject.Enabled()
+//     guard in deterministic packages and hot paths (DESIGN.md §16).
 //
 // Every exemption is an explicit, reviewed decision:
 //
@@ -132,9 +136,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
-// All returns jellyvet's five analyzers.
+// All returns jellyvet's six analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Hotpath, RNGStream, Confinement, Obsconfine}
+	return []*Analyzer{Determinism, Hotpath, RNGStream, Confinement, Obsconfine, Faultconfine}
 }
 
 // typeInvolves reports whether t is named (or is a pointer / slice /

@@ -1,0 +1,21 @@
+// Package faultinject is a faultconfine-analyzer fixture: its import
+// path ends in internal/faultinject, so jellyvet treats calls into it
+// as failpoint sites. The real package lives in the parent module; this
+// stub only mirrors the surface the analyzer matches on.
+package faultinject
+
+// Fault mirrors the real package's firing descriptor.
+type Fault struct {
+	Err   error
+	Stall bool
+}
+
+// Enabled is the disabled-fast-path guard; always admissible.
+func Enabled() bool { return false }
+
+// Hit records a site hit; must be behind an Enabled() guard in
+// deterministic packages and hot paths.
+func Hit(site string) (Fault, bool) { return Fault{}, false }
+
+// Fire is the convenience form of Hit; same guard requirement.
+func Fire(site string) error { return nil }

@@ -61,6 +61,17 @@ type Options struct {
 	// influences the computation: results are byte-identical with or
 	// without it. See mcf.Obs.
 	Obs *Obs
+	// Interrupt, when non-nil, is polled once per GK phase; when it
+	// returns true the solve stops before starting another phase and
+	// returns the certificates accumulated so far. This bounds
+	// cancellation latency to a single phase (DESIGN.md §16). The poll
+	// is allocation-free and, while Interrupt keeps returning false,
+	// has no effect on the computation — results are byte-identical to
+	// a solve without it. A truncated result is NOT marked: callers
+	// that interrupt must discard the result themselves (the service
+	// checks ctx.Err() after every kernel call), and warm-start chains
+	// are safe regardless because seedWarm rejects unconverged states.
+	Interrupt func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -463,6 +474,12 @@ func (s *solver) run() Result {
 	routedPhases := 0.0 // fractional count of full-demand rounds routed
 	restartRhoPrev := 0.0
 	for phases < s.opt.MaxPhases {
+		// Cooperative cancellation: one poll per phase, so a cancel is
+		// observed after at most the phase in flight completes. Both
+		// certificates remain valid at any stopping point.
+		if s.opt.Interrupt != nil && s.opt.Interrupt() {
+			break
+		}
 		phases++
 		phaseT := s.obs.phaseBegin(phases)
 		ok := s.phase()

@@ -352,8 +352,56 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Fatalf("defaults = %+v", o)
 	}
 	custom := Options{Epsilon: 0.2, Tol: 0.01, MaxPhases: 7, LinkCapacity: 4}.withDefaults()
-	if custom != (Options{Epsilon: 0.2, Tol: 0.01, MaxPhases: 7, LinkCapacity: 4}) {
+	if custom.Epsilon != 0.2 || custom.Tol != 0.01 || custom.MaxPhases != 7 || custom.LinkCapacity != 4 ||
+		custom.Workers != 0 || custom.Obs != nil || custom.Interrupt != nil {
 		t.Fatalf("custom options overwritten: %+v", custom)
+	}
+}
+
+// TestInterruptPhaseBound pins the documented cancellation-latency
+// bound (DESIGN.md §16): an interrupt that fires from the Nth poll
+// onward stops the solve after at most N phases — the poll runs before
+// every phase, so only the phase in flight can complete after a fire.
+func TestInterruptPhaseBound(t *testing.T) {
+	g := ring(8)
+	comms := []Commodity{{0, 4, 1}, {1, 5, 1}, {2, 6, 1}}
+	base := MaxConcurrentFlow(g, comms, Options{Tol: 1e-6, Epsilon: 0.02})
+	if base.Phases < 20 {
+		t.Fatalf("instance too easy to exercise interruption: %d phases", base.Phases)
+	}
+	for _, fireAt := range []int{1, 3, 10} {
+		polls := 0
+		res := MaxConcurrentFlow(g, comms, Options{
+			Tol: 1e-6, Epsilon: 0.02,
+			Interrupt: func() bool { polls++; return polls >= fireAt },
+		})
+		if res.Phases > fireAt {
+			t.Fatalf("interrupt at poll %d: solve ran %d phases, bound is %d", fireAt, res.Phases, fireAt)
+		}
+		// Even truncated, certificates must bracket.
+		if res.Lambda > res.UpperBound+1e-9 {
+			t.Fatalf("certificates inverted after interrupt: %v > %v", res.Lambda, res.UpperBound)
+		}
+	}
+}
+
+// TestInterruptNeverFiringIsByteIdentical pins the faults-off identity
+// argument: a poll that never fires changes nothing about the solve.
+func TestInterruptNeverFiringIsByteIdentical(t *testing.T) {
+	g := ring(8)
+	comms := []Commodity{{0, 4, 1}, {1, 5, 1}, {2, 6, 1}}
+	plain := MaxConcurrentFlow(g, comms, Options{Tol: 1e-6, Epsilon: 0.02})
+	polled := MaxConcurrentFlow(g, comms, Options{
+		Tol: 1e-6, Epsilon: 0.02,
+		Interrupt: func() bool { return false },
+	})
+	if plain.Lambda != polled.Lambda || plain.UpperBound != polled.UpperBound || plain.Phases != polled.Phases {
+		t.Fatalf("never-firing interrupt perturbed the solve: %+v vs %+v", plain, polled)
+	}
+	for i := range plain.ArcFlow {
+		if plain.ArcFlow[i] != polled.ArcFlow[i] {
+			t.Fatalf("arc %d flow differs: %v vs %v", i, plain.ArcFlow[i], polled.ArcFlow[i])
+		}
 	}
 }
 

@@ -102,6 +102,13 @@ func NewSolver(opt Options) *Solver {
 	return &Solver{opt: opt.withDefaults()}
 }
 
+// SetInterrupt installs (nil clears) the cooperative cancellation poll
+// applied to every subsequent Solve through this handle — see
+// Options.Interrupt. Callers that interrupt a solve must discard its
+// Result and State; the warm-start maturity gate would reject the
+// truncated State anyway, so a chain cannot be poisoned by one.
+func (sv *Solver) SetInterrupt(f func() bool) { sv.opt.Interrupt = f }
+
 // Solve computes the maximum concurrent flow for the instance, optionally
 // warm-started from a State produced by a previous solve on a related
 // instance (same or mildly perturbed graph, any commodity set). A nil

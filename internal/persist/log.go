@@ -8,6 +8,8 @@ import (
 	"io"
 	"io/fs"
 	"os"
+
+	"jellyfish/internal/faultinject"
 )
 
 // Record framing: an 8-byte header — payload length then CRC32 (IEEE)
@@ -110,6 +112,19 @@ func (l *Log) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(payload))
 	copy(b[recordHeaderLen:], payload)
+	if faultinject.Enabled() {
+		if f, ok := faultinject.Hit("persist.append"); ok && f.Err != nil {
+			if f.ShortWrite {
+				// Torn write: a prefix of the frame lands on disk, as a
+				// crash mid-write would leave it. Replay drops it as a
+				// truncated tail; the degraded-mode recovery snapshot
+				// resets the journal before any record after the tear
+				// would matter.
+				l.f.Write(b[:need/2])
+			}
+			return fmt.Errorf("persist: appending record: %w", f.Err)
+		}
+	}
 	if _, err := l.f.Write(b); err != nil {
 		return fmt.Errorf("persist: appending record: %w", err)
 	}
@@ -117,7 +132,12 @@ func (l *Log) Append(payload []byte) error {
 }
 
 // Sync flushes appended records to stable storage.
-func (l *Log) Sync() error { return l.f.Sync() }
+func (l *Log) Sync() error {
+	if f, ok := faultinject.Hit("persist.fsync"); ok && f.Err != nil {
+		return fmt.Errorf("persist: syncing journal: %w", f.Err)
+	}
+	return l.f.Sync()
+}
 
 // Reset truncates the log to empty (after its records were subsumed by
 // a snapshot) and syncs the truncation.

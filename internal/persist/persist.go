@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"jellyfish/internal/faultinject"
 	"jellyfish/internal/telemetry"
 )
 
@@ -140,6 +141,12 @@ func (s *Store) WriteSnapshot(b []byte) error {
 	if err := writeFileSynced(tmp, b); err != nil {
 		return fmt.Errorf("persist: writing snapshot: %w", err)
 	}
+	// Failpoint between the temp write and the rename: the
+	// crash-during-snapshot window. The old (snapshot, journal) pair
+	// must remain the recoverable state.
+	if f, ok := faultinject.Hit("persist.snapshot.rename"); ok && f.Err != nil {
+		return fmt.Errorf("persist: installing snapshot: %w", f.Err)
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("persist: installing snapshot: %w", err)
 	}
@@ -159,6 +166,9 @@ func (s *Store) PutBlob(b []byte) (string, error) {
 	path := filepath.Join(s.dir, blobDirName, d)
 	if _, err := os.Stat(path); err == nil {
 		return d, nil
+	}
+	if f, ok := faultinject.Hit("persist.blob.write"); ok && f.Err != nil {
+		return "", fmt.Errorf("persist: writing blob: %w", f.Err)
 	}
 	if err := writeFileSynced(path+".tmp", b); err != nil {
 		return "", fmt.Errorf("persist: writing blob: %w", err)

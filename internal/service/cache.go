@@ -49,4 +49,16 @@ func (c *lru) put(key string, val any) {
 	}
 }
 
+// remove drops one entry, if present. Used by panic containment to
+// discard a family's possibly-poisoned warm state: a kernel that
+// panicked mid-mutation may have left the memoized asset inconsistent,
+// and the pure-function-of-key guarantee only holds for values a
+// completed execution produced.
+func (c *lru) remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
 func (c *lru) len() int { return c.order.Len() }

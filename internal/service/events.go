@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"net/http"
+
+	"jellyfish/internal/faultinject"
 )
 
 // Streaming job progress. GET /v1/jobs/{id}/events serves the job's
@@ -65,6 +67,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for _, e := range pending {
+			if faultinject.Enabled() {
+				// Chaos site: a failed frame write drops the connection
+				// mid-stream, exercising the same path as a vanished
+				// client. The stream replays in full on reconnect.
+				if f, failed := faultinject.Hit("sse.write"); failed && f.Err != nil {
+					return
+				}
+			}
 			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", e)
 		}
 		// Appends happen-before the terminal transition, so a terminal

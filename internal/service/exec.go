@@ -232,10 +232,19 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 		run: func(ctx context.Context, w *worker) (any, error) {
 			resp := &EvaluateResponse{Throughputs: make([]float64, 0, req.Trials)}
 			sum := 0.0
+			// Thread this request's cancellation into the kernels so a
+			// cancel lands mid-trial (one solver phase, one sim filling
+			// round) instead of waiting out the whole trial. A truncated
+			// kernel can return a partial value, so every trial that could
+			// have been interrupted is followed by a ctx re-check before
+			// its value is trusted — and the final check below keeps a
+			// partial last trial out of the response cache.
+			intr := func() bool { return ctx.Err() != nil }
 			var top *topology.Topology
 			var asset *simAsset
 			if req.Transport != nil {
 				asset = transportAsset(w, mat, true)
+				asset.sim.SetInterrupt(intr)
 			} else {
 				top = mat.build()
 			}
@@ -253,7 +262,7 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 					// Certified bracket around the exact trial answer; the
 					// conservative (lower) side stands in as the trial's
 					// throughput so aggregate Min/Mean never overpromise.
-					lo, hi, err := jellyfish.EstimateThroughput(top, req.Estimator.Kind, req.Estimator.Sample, req.Seed+uint64(i))
+					lo, hi, err := jellyfish.EstimateThroughputInterruptible(top, req.Estimator.Kind, req.Estimator.Sample, req.Seed+uint64(i), intr)
 					if err != nil {
 						w.tele.rec.End()
 						return nil, err // unreachable: kind validated at plan time
@@ -262,12 +271,15 @@ func planEvaluate(req *EvaluateRequest) (*plan, *apiError) {
 					bounds = &resp.Bounds[len(resp.Bounds)-1]
 					lam = lo
 				default:
-					lam = jellyfish.OptimalThroughput(top, req.Seed+uint64(i), w.solverWorkers)
+					lam = jellyfish.OptimalThroughputInterruptible(top, req.Seed+uint64(i), intr, w.solverWorkers)
 				}
 				w.tele.rec.End()
 				resp.Throughputs = append(resp.Throughputs, lam)
 				sum += lam
 				emit(ctx, &TrialEvent{Op: "trial", Trial: i, Throughput: lam, Bounds: bounds})
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err // a truncated trial must not reach the resp: cache
 			}
 			resp.Min = slices.Min(resp.Throughputs)
 			resp.Mean = sum / float64(req.Trials)
@@ -424,10 +436,20 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 			// contract — but compiles routing per step: scenarios mutate
 			// the graph, and a routing.Compiled is bound to one graph.
 			ev := jellyfish.NewWhatIfEvaluator(w.solverWorkers)
+			// Cancellation lands mid-step (one solver phase / one sim
+			// round); each step re-checks ctx before its checkpoint is
+			// cached, so a truncated solve never becomes a chain
+			// checkpoint other requests would resume from.
+			intr := func() bool { return ctx.Err() != nil }
+			ev.SetInterrupt(intr)
 			var simScratch *flowsim.Sim
 			var srvBuf []int
 			if req.Transport != nil {
 				simScratch = transportAsset(w, mat, false).sim
+				// Always (re)install this request's poll: the shared sim
+				// asset still holds the previous borrower's closure, which
+				// may reference a context that has since been cancelled.
+				simScratch.SetInterrupt(intr)
 			}
 			stepOf := func(i int, desc string, lam float64) WhatIfStep {
 				st := WhatIfStep{
@@ -452,7 +474,11 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 				w.tele.rec.Begin("whatif.step", 0)
 				lam := ev.OptimalThroughput(top, req.Seed)
 				w.tele.rec.End()
-				steps = []WhatIfStep{stepOf(0, "base", lam)}
+				st := stepOf(0, "base", lam)
+				if err := ctx.Err(); err != nil {
+					return nil, err // truncated base solve; do not checkpoint
+				}
+				steps = []WhatIfStep{st}
 				w.cache.put("chain:"+keys[0], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
 				resumed = 0
 			}
@@ -473,7 +499,11 @@ func planWhatIf(req *WhatIfRequest) (*plan, *apiError) {
 				w.tele.rec.Begin("whatif.step", int64(i))
 				lam := ev.OptimalThroughput(top, req.Seed)
 				w.tele.rec.End()
-				steps = append(steps, stepOf(i, desc, lam))
+				st := stepOf(i, desc, lam)
+				if err := ctx.Err(); err != nil {
+					return nil, err // truncated step solve; do not checkpoint
+				}
+				steps = append(steps, st)
 				w.cache.put("chain:"+keys[i], &chainPoint{steps: slices.Clone(steps), st: ev.State()})
 				emit(ctx, &StepEvent{Op: "step", Step: steps[len(steps)-1]})
 			}

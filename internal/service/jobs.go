@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jellyfish/internal/persist"
@@ -141,6 +142,16 @@ type jobStore struct {
 	store         *persist.Store
 	snapshotEvery int
 	appended      int
+
+	// degraded marks the read-only failure mode: a persist write failed,
+	// so submissions are refused with 503 "degraded" while reads keep
+	// serving from memory. The flag clears itself — every later persist
+	// write doubles as the recovery probe (see persistence.go). Atomic so
+	// healthz can read it without touching pmu.
+	degraded atomic.Bool
+	// tele records degraded-mode transitions (nil-safe; nil when the
+	// daemon runs without telemetry).
+	tele *tele
 }
 
 func newJobStore() *jobStore {

@@ -99,7 +99,9 @@ type snapshotDoc struct {
 
 // appendRecord journals one record and advances the snapshot cadence.
 // A write failure is surfaced so submit can refuse to acknowledge a job
-// that would vanish on restart. No-op without a store.
+// that would vanish on restart — and flips the store into degraded
+// (read-only) mode. A later successful append is the recovery probe
+// that flips it back (DESIGN.md §16). No-op without a store.
 func (js *jobStore) appendRecord(rec *jobRecord) *apiError {
 	js.pmu.Lock()
 	defer js.pmu.Unlock()
@@ -107,14 +109,44 @@ func (js *jobStore) appendRecord(rec *jobRecord) *apiError {
 		return nil
 	}
 	if err := js.store.Append(mustJSON(rec)); err != nil {
-		return &apiError{Status: http.StatusInternalServerError, Code: "store_write_failed",
-			Message: fmt.Sprintf("journaling %s record: %v", rec.Kind, err)}
+		js.enterDegradedUnderPMU(fmt.Sprintf("journaling %s record: %v", rec.Kind, err))
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "degraded",
+			Message: fmt.Sprintf("journal write failed (%v); serving read-only until writes recover — retry the submission", err)}
 	}
 	js.appended++
+	js.recoverDegradedUnderPMU()
 	if js.appended >= js.snapshotEvery {
 		js.snapshotUnderPMU()
 	}
 	return nil
+}
+
+// enterDegradedUnderPMU flips the store into read-only degraded mode
+// (idempotent; counts only the healthy→degraded edge).
+func (js *jobStore) enterDegradedUnderPMU(reason string) {
+	if !js.degraded.Swap(true) {
+		fmt.Printf("jellyfishd: entering degraded mode: %s\n", reason)
+		js.tele.degradedTransitions().Inc()
+		js.tele.degradedGauge().Set(1)
+	}
+}
+
+// recoverDegradedUnderPMU clears degraded mode after a successful
+// persist write and immediately snapshots the live store. The snapshot
+// is what makes recovery lossless: any terminal job whose persistDone
+// failed while degraded is re-persisted here from memory (buildSnapshot
+// rewrites every terminal job's blobs and records), so a restart after
+// recovery loses no terminal state. If the snapshot itself fails the
+// store goes straight back to degraded.
+func (js *jobStore) recoverDegradedUnderPMU() {
+	if !js.degraded.Swap(false) {
+		return
+	}
+	js.tele.degradedGauge().Set(0)
+	fmt.Printf("jellyfishd: persist writes recovered; snapshotting to re-persist degraded-era terminal jobs\n")
+	if err := js.snapshotUnderPMU(); err != nil {
+		js.enterDegradedUnderPMU(fmt.Sprintf("recovery snapshot: %v", err))
+	}
 }
 
 // persistDone writes a finished job's result and event stream to blob
@@ -148,13 +180,16 @@ func (js *jobStore) persistDone(j *job) {
 		err = js.store.Append(mustJSON(rec))
 	}
 	if err != nil {
-		// The job finished in memory and stays servable; it will simply
-		// re-run after a restart. Losing durability is worth a log line,
-		// not a crash.
+		// The job finished in memory and stays servable; the recovery
+		// snapshot re-persists it once writes come back (or, failing
+		// that, it simply re-runs after a restart). Losing durability is
+		// worth a degraded flag and a log line, not a crash.
 		fmt.Printf("jellyfishd: persisting job %s: %v\n", j.id, err)
+		js.enterDegradedUnderPMU(fmt.Sprintf("persisting job %s: %v", j.id, err))
 		return
 	}
 	js.appended++
+	js.recoverDegradedUnderPMU()
 	if js.appended >= js.snapshotEvery {
 		js.snapshotUnderPMU()
 	}
@@ -213,20 +248,22 @@ func decodeEvents(b []byte) ([][]byte, error) {
 // snapshotUnderPMU writes a snapshot of the live job store, truncates
 // the journal, and collects unreferenced blobs. Caller holds pmu (which
 // serializes all blob writes, so the GC scan cannot race a PutBlob).
-func (js *jobStore) snapshotUnderPMU() {
+// The returned error covers the snapshot itself; blob-GC failures only
+// log (they cost disk, not correctness).
+func (js *jobStore) snapshotUnderPMU() error {
 	doc, live, err := js.buildSnapshot()
 	if err == nil {
 		err = js.store.WriteSnapshot(mustJSON(doc))
 	}
 	if err != nil {
 		fmt.Printf("jellyfishd: writing snapshot: %v\n", err)
-		return
+		return err
 	}
 	js.appended = 0
 	digests, err := js.store.Blobs()
 	if err != nil {
 		fmt.Printf("jellyfishd: listing blobs for gc: %v\n", err)
-		return
+		return nil
 	}
 	for _, d := range digests {
 		if !live[d] {
@@ -235,6 +272,7 @@ func (js *jobStore) snapshotUnderPMU() {
 			}
 		}
 	}
+	return nil
 }
 
 // buildSnapshot renders the live store as a snapshotDoc plus the set of

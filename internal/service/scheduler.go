@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"jellyfish/internal/faultinject"
 	"jellyfish/internal/telemetry"
 )
 
@@ -211,6 +213,16 @@ func (w *worker) execute(s *scheduler, t *task) {
 		close(t.done)
 	}()
 	s.tele.queueWaitH().ObserveSince(t.enq)
+	if faultinject.Enabled() {
+		// Chaos site: a stall here models a wedged shard worker (slow
+		// disk, scheduler starvation) without touching kernel code. Only
+		// the stall shape is meaningful — this runs outside runGuarded,
+		// so error and panic shapes are ignored rather than allowed to
+		// kill the shard goroutine.
+		if f, ok := faultinject.Hit("sched.worker.stall"); ok && f.Stall {
+			time.Sleep(faultinject.StallDuration)
+		}
+	}
 	if t.ctx != nil {
 		if err := t.ctx.Err(); err != nil {
 			t.err = err
@@ -243,7 +255,7 @@ func (w *worker) execute(s *scheduler, t *task) {
 	opT := telemetry.StartTimer()
 	mark := w.tele.rec.Mark()
 	w.tele.rec.Begin(t.op, 0)
-	v, err := runGuarded(t, w)
+	v, err := runGuarded(s, t, w)
 	w.tele.rec.End()
 	t.trace = w.tele.rec.TraceSince(mark)
 	s.tele.opDurH(t.op).ObserveSince(opT)
@@ -257,6 +269,16 @@ func (w *worker) execute(s *scheduler, t *task) {
 		return
 	}
 	t.resp = b
+	if faultinject.Enabled() {
+		// Chaos site: a cache-insert failure serves the response but skips
+		// memoizing it, so the next identical request re-executes cold.
+		// Correctness is unaffected (entries are pure functions of their
+		// keys); chaos runs use it to prove hit/miss paths are
+		// byte-identical.
+		if _, failed := faultinject.Hit("sched.cache.insert"); failed {
+			return
+		}
+	}
 	w.cache.put("resp:"+t.key, &cachedResult{resp: b, events: t.events, trace: t.trace})
 }
 
@@ -265,10 +287,22 @@ func (w *worker) execute(s *scheduler, t *task) {
 // per-connection goroutines — so an executor panic (a validation gap
 // reaching one of the library's documented panic paths) must fail its one
 // request, not kill the daemon and every in-flight job.
-func runGuarded(t *task, w *worker) (v any, err error) {
+//
+// Containment also discards the family's warm-state cache entries: a
+// kernel that panicked mid-mutation may have left its memoized asset
+// (capsearch family, compiled sim) half-updated, and the
+// pure-function-of-key guarantee only covers values a completed
+// execution produced. Dropping them costs one cold rebuild; keeping
+// them could poison every later response on the shard. Chain
+// checkpoints need no discard — they are only cached after their solve
+// completes, so a panic can never publish a partial one.
+func runGuarded(s *scheduler, t *task, w *worker) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = &apiError{Status: http.StatusInternalServerError, Code: "internal",
+			w.cache.remove(t.family)
+			w.cache.remove("sim:" + t.family)
+			s.tele.panicsContained().Inc()
+			err = &apiError{Status: http.StatusInternalServerError, Code: "internal_error",
 				Message: fmt.Sprintf("executor panic: %v", r)}
 		}
 	}()

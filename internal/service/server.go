@@ -46,6 +46,14 @@ type Options struct {
 	// appended records the store writes a snapshot and truncates the
 	// journal (default 256). Only meaningful with StateDir.
 	SnapshotEvery int
+	// ClientQPS, when positive, enables per-client quotas on the
+	// work-creating endpoints (sync planning + job submission): each
+	// client host earns this many requests per second, spends from a
+	// bucket of ClientBurst, and is shed with 429 + Retry-After beyond
+	// it. 0 (the default) disables quotas. Reads are never metered.
+	ClientQPS float64
+	// ClientBurst is the quota bucket depth (default ClientQPS+1).
+	ClientBurst int
 	// DisableTelemetry turns the observability surface off: no metric
 	// slots, no flight recorders, GET /metrics answers 404 and
 	// GET /v1/trace/{id} reports trace_not_recorded. Planning responses
@@ -90,6 +98,8 @@ type Server struct {
 	// syncSem admits synchronous planning requests (admission control);
 	// nil = unlimited.
 	syncSem chan struct{}
+	// quota is the per-client token-bucket table (nil = quotas disabled).
+	quota *quotaTable
 }
 
 // New builds a Server with its worker pool running. With a StateDir it
@@ -110,7 +120,11 @@ func New(opt Options) (*Server, error) {
 		mux:   http.NewServeMux(),
 		tele:  tl,
 	}
+	s.jobs.tele = tl
 	tl.bindScheduler(s.sched)
+	if opt.ClientQPS > 0 {
+		s.quota = newQuotaTable(opt.ClientQPS, opt.ClientBurst, tl)
+	}
 	if opt.MaxSyncInflight > 0 {
 		s.syncSem = make(chan struct{}, opt.MaxSyncInflight)
 	}
@@ -226,8 +240,15 @@ func (s *Server) closeStore() {
 	js.store = nil
 }
 
+// handleHealthz reports liveness. A degraded daemon still answers 200 —
+// it is alive and serving reads — but says so, so probes and operators
+// can tell "healthy" from "read-only until persist writes recover".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.jobs.degraded.Load() {
+		w.Write([]byte(`{"status":"degraded"}`))
+		return
+	}
 	w.Write([]byte(`{"status":"ok"}`))
 }
 
@@ -310,10 +331,14 @@ func readBody(r *http.Request, v any) *apiError {
 // already in flight the server answers 429 with a Retry-After hint
 // instead of queueing — saturation should surface at the edge, not as
 // unbounded shard-queue latency. Malformed requests (aerr != nil) are
-// rejected without consuming an admission slot.
-func (s *Server) runSync(w http.ResponseWriter, p *plan, aerr *apiError) {
+// rejected without consuming an admission slot or quota.
+func (s *Server) runSync(w http.ResponseWriter, r *http.Request, p *plan, aerr *apiError) {
 	if aerr != nil {
 		writeErr(w, aerr)
+		return
+	}
+	if qerr := s.quota.checkQuota(w, r); qerr != nil {
+		writeErr(w, qerr)
 		return
 	}
 	s.jobs.mu.Lock()
@@ -354,7 +379,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p, aerr := planDesign(&req)
-	s.runSync(w, p, aerr)
+	s.runSync(w, r, p, aerr)
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -364,7 +389,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p, aerr := planEvaluate(&req)
-	s.runSync(w, p, aerr)
+	s.runSync(w, r, p, aerr)
 }
 
 func (s *Server) handleCapacitySearch(w http.ResponseWriter, r *http.Request) {
@@ -374,7 +399,7 @@ func (s *Server) handleCapacitySearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p, aerr := planCapacitySearch(&req)
-	s.runSync(w, p, aerr)
+	s.runSync(w, r, p, aerr)
 }
 
 func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
@@ -384,7 +409,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p, aerr := planWhatIf(&req)
-	s.runSync(w, p, aerr)
+	s.runSync(w, r, p, aerr)
 }
 
 func (s *Server) handleRewire(w http.ResponseWriter, r *http.Request) {
@@ -394,13 +419,17 @@ func (s *Server) handleRewire(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p, aerr := planRewire(&req)
-	s.runSync(w, p, aerr)
+	s.runSync(w, r, p, aerr)
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if aerr := readBody(r, &spec); aerr != nil {
 		writeErr(w, aerr)
+		return
+	}
+	if qerr := s.quota.checkQuota(w, r); qerr != nil {
+		writeErr(w, qerr)
 		return
 	}
 	j, aerr := s.jobs.submit(s.sched, &spec)

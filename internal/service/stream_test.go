@@ -1,12 +1,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // SSE determinism suite: the /events stream is part of the byte-exact
@@ -90,6 +93,70 @@ func TestEventStreamCacheHitReplay(t *testing.T) {
 	cold := runJobAndStream(t, coldTS.URL, full)
 	if warm != cold {
 		t.Errorf("whatif: warm-prefix stream differs from cold:\n warm %q\n cold %q", warm, cold)
+	}
+}
+
+// TestSSEDisconnectMidStreamFreesSubscriber is the subscriber-leak
+// regression: a client that vanishes mid-stream (while the job is still
+// running and the handler is blocked waiting for more events) must wake
+// the handler, return the subscriber gauge to zero, and leave nothing
+// behind — the store must not accumulate dead sinks across a
+// disconnect storm.
+func TestSSEDisconnectMidStreamFreesSubscriber(t *testing.T) {
+	ts, srv := newTestServer(t, Options{Workers: 1})
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	j := newJob("j990001", "design", nil, cancel)
+	j.runCtx = ctx
+	srv.jobs.mu.Lock()
+	srv.jobs.jobs[j.id] = j
+	srv.jobs.mu.Unlock()
+	p := &plan{family: "leak", key: "leak", op: "design",
+		run: func(ctx context.Context, w *worker) (any, error) {
+			emit(ctx, struct {
+				N int `json:"n"`
+			}{1})
+			<-release
+			return "done", nil
+		}}
+	srv.jobs.start(srv.sched, j, p, ctx)
+
+	const storm = 8
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() { //jellyvet:allow determinism -- test harness goroutine; errors travel through the WaitGroup'd closure
+			defer wg.Done()
+			reqCtx, disconnect := context.WithCancel(context.Background())
+			defer disconnect()
+			req, _ := http.NewRequestWithContext(reqCtx, "GET", ts.URL+"/v1/jobs/"+j.id+"/events", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			// Read the first progress frame so the handler is mid-stream,
+			// then vanish.
+			buf := make([]byte, 1)
+			resp.Body.Read(buf)
+			disconnect()
+			io.ReadAll(resp.Body)
+		}()
+	}
+	wg.Wait()
+
+	// The gauge drains asynchronously (each handler must observe its
+	// context and return); poll briefly rather than sleeping blind.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.tele.sseSubs.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber gauge stuck at %d after disconnect storm", srv.tele.sseSubs.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	if got := waitJob(t, ts.URL, j.id); got.Status != jobSucceeded {
+		t.Fatalf("job after disconnect storm: %s", got.Status)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"jellyfish/internal/capsearch"
+	"jellyfish/internal/faultinject"
 	"jellyfish/internal/mcf"
 	"jellyfish/internal/persist"
 	"jellyfish/internal/telemetry"
@@ -68,6 +69,12 @@ type tele struct {
 	replayDur *telemetry.Histogram
 	store     *persist.Obs
 
+	// Failure-containment families (DESIGN.md §16).
+	panics        *telemetry.Counter
+	degradedState *telemetry.Gauge
+	degradedFlips *telemetry.Counter
+	quotaRejects  *telemetry.Counter
+
 	workers []*workerTele
 }
 
@@ -97,6 +104,18 @@ func newTele(workers int) *tele {
 		"Currently connected job event-stream (SSE) subscribers.", "")
 	t.replayDur = reg.Histogram("jellyfishd_jobstore_replay_seconds",
 		"Durable job store replay time at boot (snapshot parse + journal apply + job relaunch).", "")
+	t.panics = reg.Counter("jellyfishd_panics_contained_total",
+		"Kernel panics recovered on a shard worker (job failed, warm state discarded, worker kept alive).", "")
+	t.degradedState = reg.Gauge("jellyfishd_degraded",
+		"1 while the daemon is serving read-only after persist-write failures, 0 when healthy.", "")
+	t.degradedFlips = reg.Counter("jellyfishd_degraded_transitions_total",
+		"Healthy-to-degraded transitions of the durable job store.", "")
+	t.quotaRejects = reg.Counter("jellyfishd_quota_rejected_total",
+		"Requests shed with 429 by the per-client quota layer.", "")
+	reg.CounterFunc("jellyfishd_faultinject_fires_total",
+		"Failpoint firings under the active fault schedule (0 outside chaos runs).", "",
+		//jellyvet:allow faultconfine -- scrape-time counter read, not a failpoint: runs on /metrics requests only, never on a response path
+		func() int64 { return int64(faultinject.FireCount()) })
 	t.store = &persist.Obs{
 		Appends: reg.Counter("jellyfishd_jobstore_appends_total",
 			"Journal records appended to the durable job store.", ""),
@@ -236,6 +255,38 @@ func (t *tele) sse() *telemetry.Gauge {
 		return nil
 	}
 	return t.sseSubs
+}
+
+// panicsContained returns the recovered-kernel-panic counter.
+func (t *tele) panicsContained() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.panics
+}
+
+// degradedGauge returns the degraded-mode state gauge (1 = degraded).
+func (t *tele) degradedGauge() *telemetry.Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.degradedState
+}
+
+// degradedTransitions returns the healthy→degraded transition counter.
+func (t *tele) degradedTransitions() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.degradedFlips
+}
+
+// quotaRejected returns the per-client quota rejection counter.
+func (t *tele) quotaRejected() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.quotaRejects
 }
 
 // replayH returns the job store replay-duration histogram.

@@ -212,9 +212,25 @@ func FailRandomSwitches(t *Topology, fraction float64, seed uint64) []int {
 // flow solver's CPU parallelism (default: all cores); the value returned
 // is identical for every worker count.
 func OptimalThroughput(t *Topology, seed uint64, workers ...int) float64 {
+	return optimalThroughput(t, seed, nil, workers...)
+}
+
+// OptimalThroughputInterruptible is OptimalThroughput with a cooperative
+// cancellation poll threaded into the flow solver's phase loop, bounding
+// cancellation latency to one Garg–Könemann phase instead of a whole
+// solve. A fired interrupt truncates the solve: the returned value is a
+// valid primal certificate of the phases run, but NOT the converged
+// answer — callers that observe their own cancellation signal must
+// discard it, never cache it. A nil or never-firing interrupt is
+// byte-identical to OptimalThroughput.
+func OptimalThroughputInterruptible(t *Topology, seed uint64, interrupt func() bool, workers ...int) float64 {
+	return optimalThroughput(t, seed, interrupt, workers...)
+}
+
+func optimalThroughput(t *Topology, seed uint64, interrupt func() bool, workers ...int) float64 {
 	src := rng.New(seed)
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))
-	res := mcf.MaxConcurrentFlow(t.Graph, pat.Commodities(), mcf.Options{Workers: firstOrZero(workers)})
+	res := mcf.MaxConcurrentFlow(t.Graph, pat.Commodities(), mcf.Options{Workers: firstOrZero(workers), Interrupt: interrupt})
 	return metrics.Clamp01(res.Lambda)
 }
 
@@ -231,9 +247,28 @@ func OptimalThroughput(t *Topology, seed uint64, workers ...int) float64 {
 // after the same cap-at-1 normalization (capping preserves both sides).
 // Deterministic in (topology, estimator, sample, seed).
 func EstimateThroughput(t *Topology, estimator string, sample int, seed uint64) (lower, upper float64, err error) {
+	return estimateThroughput(t, estimator, sample, seed, nil)
+}
+
+// EstimateThroughputInterruptible is EstimateThroughput with a
+// cooperative cancellation poll threaded into the estimator's internal
+// solves (for estimators that run any — see estimate.Interruptible;
+// the closed-form estimators return before a poll matters). A fired
+// interrupt yields a soundly loose bracket, not the converged one:
+// callers that observe their own cancellation signal must discard it.
+// A nil or never-firing interrupt is byte-identical to
+// EstimateThroughput.
+func EstimateThroughputInterruptible(t *Topology, estimator string, sample int, seed uint64, interrupt func() bool) (lower, upper float64, err error) {
+	return estimateThroughput(t, estimator, sample, seed, interrupt)
+}
+
+func estimateThroughput(t *Topology, estimator string, sample int, seed uint64, interrupt func() bool) (lower, upper float64, err error) {
 	est, err := estimate.New(estimator, sample, seed)
 	if err != nil {
 		return 0, 0, err
+	}
+	if in, ok := est.(estimate.Interruptible); ok && interrupt != nil {
+		in.SetInterrupt(interrupt)
 	}
 	src := rng.New(seed)
 	pat := traffic.RandomPermutation(t.ServerSwitches(), src.Split("traffic"))

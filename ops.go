@@ -121,6 +121,21 @@ func (e *WhatIfEvaluator) OptimalThroughput(t *Topology, seed uint64) float64 {
 	return metrics.Clamp01(res.Lambda)
 }
 
+// SetInterrupt installs a cooperative cancellation poll on the
+// evaluator's flow solver, bounding cancellation latency to one
+// Garg–Könemann phase per evaluation. A fired interrupt truncates the
+// evaluation in flight — callers that observe their own cancellation
+// signal must discard that value and must NOT checkpoint the
+// evaluator's state (the truncated state would poison later warm
+// resumes; the solver's own maturity gate rejects it on seeding, but a
+// checkpoint cache keyed as "converged" has no such gate). A nil or
+// never-firing poll changes nothing.
+func (e *WhatIfEvaluator) SetInterrupt(f func() bool) {
+	e.acquire("SetInterrupt")
+	defer e.busy.Store(false)
+	e.sv.SetInterrupt(f)
+}
+
 // Reset drops the carried solver state, forcing the next evaluation to
 // start cold (useful when switching to an unrelated network, though the
 // solver's own overlap check would catch that too).
